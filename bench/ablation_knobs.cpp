@@ -1,0 +1,99 @@
+// Ablation X1 — the (g, a, z) knobs: message complexity vs reliability.
+//
+// The abstract's headline trade-off: the application can tune, per topic,
+// how many intergroup messages it pays for how much intergroup-hop
+// reliability. Sweeps one knob at a time around the paper's defaults in a
+// lossy setting where the trade-off is visible.
+#include <iostream>
+
+#include "analysis/formulas.hpp"
+#include "bench_common.hpp"
+#include "core/static_sim.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct KnobResult {
+  double inter_sent;
+  double t0_fraction;
+  double pit_predicted;
+};
+
+KnobResult run_with(dam::core::TopicParams params, std::uint64_t seed_base) {
+  using namespace dam;
+  params.psucc = 0.5;  // lossy channels make the knob effects visible
+  util::Accumulator inter;
+  util::Accumulator t0;
+  constexpr int kRuns = 250;
+  for (int run = 0; run < kRuns; ++run) {
+    core::StaticSimConfig config;
+    config.group_sizes = {10, 100, 500};
+    config.params = {params};
+    config.seed = seed_base + static_cast<std::uint64_t>(run) * 71;
+    const auto result = core::run_static_simulation(config);
+    inter.add(static_cast<double>(result.groups[2].inter_sent +
+                                  result.groups[1].inter_sent));
+    t0.add(result.groups[0].delivery_ratio());
+  }
+  const double hop = analysis::pit_binomial(500, params.psel(500), 1.0,
+                                            params.pa(), params.z,
+                                            params.psucc);
+  return {inter.mean(), t0.mean(), hop};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dam;
+  bench::CsvSink csv(argc, argv);
+  bench::print_title(
+      "Ablation: the g / a / z knobs (message cost vs reliability)",
+      "S={10,100,500}, psucc=0.5; inter = intergroup events per publication\n"
+      "(both boundaries); T0 frac = mean delivered fraction in the root\n"
+      "group; pit = predicted one-hop propagation probability (binomial)");
+
+  util::ConsoleTable table({"knob", "g", "a", "z", "inter msgs", "T0 frac",
+                            "pit(T2->T1)"});
+  csv.header({"knob", "g", "a", "z", "inter", "t0_fraction", "pit"});
+
+  auto emit = [&](const char* knob, core::TopicParams params,
+                  std::uint64_t seed) {
+    const auto result = run_with(params, seed);
+    table.row(knob, util::fixed(params.g, 0), util::fixed(params.a, 0),
+              params.z, util::fixed(result.inter_sent, 2),
+              util::fixed(result.t0_fraction, 3),
+              util::fixed(result.pit_predicted, 3));
+    csv.row(knob, params.g, params.a, params.z, result.inter_sent,
+            result.t0_fraction, result.pit_predicted);
+  };
+
+  // Sweep g (election rate): more links, more messages, better hops.
+  for (double g : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    core::TopicParams params;
+    params.g = g;
+    emit("g", params, 0x91 + static_cast<std::uint64_t>(g * 10.0));
+  }
+  // Sweep a (per-entry send probability numerator).
+  for (double a : {1.0, 2.0, 3.0}) {
+    core::TopicParams params;
+    params.a = a;
+    emit("a", params, 0xA7 + static_cast<std::uint64_t>(a * 10.0));
+  }
+  // Sweep z (supertopic-table size) at fixed a=1: bigger table = same
+  // expected sends (pa=a/z shrinks) spread over more targets.
+  for (std::size_t z : {1u, 2u, 3u, 5u, 8u}) {
+    core::TopicParams params;
+    params.z = z;
+    params.tau = 1;
+    emit("z", params, 0xB3 + z);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected: raising g multiplies intergroup messages ~linearly and\n"
+         "pushes T0 delivery up; raising a at fixed z buys hop reliability\n"
+         "with proportional extra messages; raising z at fixed a keeps the\n"
+         "expected message count flat while diversifying targets (slightly\n"
+         "better than putting all a eggs in fewer baskets at high loss).\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints (a) a paper-style aligned table to stdout and (b), if
+// a path is given as argv[1], the same series as CSV for plotting.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace dam::bench {
+
+/// The x-axis of Figures 8–11: fraction of alive processes.
+inline std::vector<double> alive_fractions() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+/// Optional CSV sink: opened when the bench got an output path argument.
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv) {
+    if (argc > 1) writer_ = std::make_unique<util::CsvWriter>(argv[1]);
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    if (writer_) writer_->row(values...);
+  }
+
+  void header(const std::vector<std::string>& columns) {
+    if (writer_) writer_->header(columns);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return writer_ != nullptr; }
+
+ private:
+  std::unique_ptr<util::CsvWriter> writer_;
+};
+
+inline void print_title(const std::string& title, const std::string& note) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace dam::bench

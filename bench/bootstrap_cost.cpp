@@ -1,0 +1,112 @@
+// Ablation X2 — FIND_SUPER_CONTACT bootstrap cost.
+//
+// Cold-starts the full dynamic system WITHOUT auto-wired supertopic tables
+// and measures how much control traffic and how many rounds it takes until
+// the hierarchy is linked (every non-root process holding a supertopic
+// table for its direct supertopic), as hierarchy depth and population vary.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "topics/hierarchy.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct BootstrapOutcome {
+  double rounds_to_link;      ///< rounds until >=95% of non-root nodes linked
+  double control_messages;    ///< control messages sent up to that point
+  double linked_fraction;     ///< final fraction linked (after the horizon)
+};
+
+BootstrapOutcome measure(std::size_t depth, std::size_t per_level,
+                         std::uint64_t seed) {
+  using namespace dam;
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, depth);
+  core::DamSystem::Config config;
+  config.seed = seed;
+  config.neighborhood_degree = 5;
+  core::DamSystem system(hierarchy, config);
+  std::vector<topics::ProcessId> non_root;
+  for (std::size_t level = 0; level <= depth; ++level) {
+    const auto members = system.spawn_group(levels[level], per_level);
+    if (level > 0) {
+      non_root.insert(non_root.end(), members.begin(), members.end());
+    }
+  }
+  constexpr std::size_t kHorizon = 120;
+  std::size_t linked_round = kHorizon;
+  for (std::size_t round = 0; round < kHorizon; ++round) {
+    system.run_rounds(1);
+    std::size_t linked = 0;
+    for (topics::ProcessId p : non_root) {
+      const auto& table = system.node(p).super_table();
+      if (!table.empty() &&
+          table.super_topic() ==
+              hierarchy.super(system.node(p).topic())) {
+        ++linked;
+      }
+    }
+    if (linked_round == kHorizon && linked * 100 >= non_root.size() * 95) {
+      linked_round = round + 1;
+      break;
+    }
+  }
+  const double control =
+      static_cast<double>(system.metrics().total_control_messages());
+  std::size_t linked = 0;
+  for (topics::ProcessId p : non_root) {
+    if (!system.node(p).super_table().empty()) ++linked;
+  }
+  return {static_cast<double>(linked_round), control,
+          static_cast<double>(linked) / static_cast<double>(non_root.size())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dam;
+  bench::CsvSink csv(argc, argv);
+  bench::print_title(
+      "Bootstrap cost: FIND_SUPER_CONTACT (Fig. 4) at cold start",
+      "no pre-wired supertopic tables; linked = supertopic table targets\n"
+      "the DIRECT supertopic; rounds = until 95% of non-root nodes linked;\n"
+      "ctrl msgs include membership gossip, REQ/ANSCONTACT and maintenance");
+
+  util::ConsoleTable table({"depth", "procs/level", "rounds to link",
+                            "ctrl msgs", "ctrl msgs/proc", "final linked"});
+  csv.header({"depth", "per_level", "rounds", "control", "control_per_proc",
+              "linked_fraction"});
+  constexpr int kRuns = 5;
+  for (std::size_t depth : {1u, 2u, 3u, 4u}) {
+    for (std::size_t per_level : {10u, 30u}) {
+      util::Accumulator rounds;
+      util::Accumulator control;
+      util::Accumulator linked;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto outcome =
+            measure(depth, per_level,
+                    0xB00 + static_cast<std::uint64_t>(run) * 37 + depth * 7 +
+                        per_level);
+        rounds.add(outcome.rounds_to_link);
+        control.add(outcome.control_messages);
+        linked.add(outcome.linked_fraction);
+      }
+      const double population = static_cast<double>((depth + 1) * per_level);
+      table.row(depth, per_level, util::fixed(rounds.mean(), 1),
+                util::fixed(control.mean(), 0),
+                util::fixed(control.mean() / population, 1),
+                util::fixed(linked.mean(), 3));
+      csv.row(depth, per_level, rounds.mean(), control.mean(),
+              control.mean() / population, linked.mean());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: rounds-to-link grows mildly with depth (the\n"
+               "widening search plus piggybacked spreading); control traffic\n"
+               "per process stays modest and is dominated by the steady\n"
+               "1-per-round membership gossip, not the bootstrap flood.\n";
+  return 0;
+}

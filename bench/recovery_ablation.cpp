@@ -1,0 +1,102 @@
+// Ablation X5 — what the event-recovery extension buys.
+//
+// The base paper has no retransmission: lost messages are lost, and
+// reliability comes purely from gossip redundancy. The recovery extension
+// (lpbcast-style digests + requests, cf. the paper's reference [6]) trades
+// extra control traffic for reliability. This bench sweeps channel quality
+// and reports delivery ratio and message overhead with and without it.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "topics/hierarchy.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+struct Outcome {
+  double delivery;
+  double event_msgs;
+  double control_msgs;
+};
+
+Outcome run(double psucc, bool recovery, std::uint64_t seed) {
+  using namespace dam;
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 2);
+  core::DamSystem::Config config;
+  config.seed = seed;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = psucc;
+  config.node.recovery.enabled = recovery;
+  config.node.recovery.history_size = 32;
+  config.node.recovery.digest_size = 8;
+  core::DamSystem system(hierarchy, config);
+  system.spawn_group(levels[0], 10);
+  system.spawn_group(levels[1], 30);
+  const auto leaves = system.spawn_group(levels[2], 80);
+  system.run_rounds(3);
+  double delivery = 0.0;
+  constexpr int kEvents = 3;
+  for (int i = 0; i < kEvents; ++i) {
+    const auto event = system.publish(leaves[i * 11]);
+    system.run_rounds(25);
+    delivery += system.delivery_ratio(event);
+  }
+  return {delivery / kEvents,
+          static_cast<double>(system.metrics().total_event_messages()),
+          static_cast<double>(system.metrics().total_control_messages())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dam;
+  bench::CsvSink csv(argc, argv);
+  bench::print_title(
+      "Recovery ablation: base protocol vs + event recovery",
+      "dynamic 3-level system (10/30/80), 3 publications per run, 10 runs;\n"
+      "delivery = mean fraction of alive interested processes reached");
+
+  util::ConsoleTable table({"psucc", "delivery (base)", "delivery (+rec)",
+                            "event msgs (base)", "event msgs (+rec)",
+                            "ctrl msgs (base)", "ctrl msgs (+rec)"});
+  csv.header({"psucc", "base_delivery", "rec_delivery", "base_event",
+              "rec_event", "base_control", "rec_control"});
+
+  for (double psucc : {0.3, 0.5, 0.7, 0.9}) {
+    util::Accumulator base_delivery;
+    util::Accumulator rec_delivery;
+    util::Accumulator base_event;
+    util::Accumulator rec_event;
+    util::Accumulator base_control;
+    util::Accumulator rec_control;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto base = run(psucc, false, seed);
+      const auto rec = run(psucc, true, seed);
+      base_delivery.add(base.delivery);
+      rec_delivery.add(rec.delivery);
+      base_event.add(base.event_msgs);
+      rec_event.add(rec.event_msgs);
+      base_control.add(base.control_msgs);
+      rec_control.add(rec.control_msgs);
+    }
+    table.row(util::fixed(psucc, 1), util::fixed(base_delivery.mean(), 3),
+              util::fixed(rec_delivery.mean(), 3),
+              util::fixed(base_event.mean(), 0),
+              util::fixed(rec_event.mean(), 0),
+              util::fixed(base_control.mean(), 0),
+              util::fixed(rec_control.mean(), 0));
+    csv.row(psucc, base_delivery.mean(), rec_delivery.mean(),
+            base_event.mean(), rec_event.mean(), base_control.mean(),
+            rec_control.mean());
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nexpected: recovery's delivery advantage is largest on bad\n"
+         "channels (psucc 0.3-0.5) and fades as gossip redundancy alone\n"
+         "suffices (psucc 0.9); the price is extra event retransmissions\n"
+         "and digest/request control traffic.\n";
+  return 0;
+}

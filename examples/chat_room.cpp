@@ -1,0 +1,61 @@
+// Chat rooms over the PubSub facade — the library as an application sees it.
+//
+// String topics, string payloads, per-subscriber callbacks; everything
+// else (grouping, bootstrap, gossip, bottom-up routing) happens underneath.
+//
+//   $ ./chat_room
+#include <iostream>
+#include <map>
+
+#include "core/pubsub.hpp"
+
+int main() {
+  using namespace dam;
+
+  core::PubSub::Config config;
+  config.system.seed = 99;
+  config.system.auto_wire_super_tables = true;
+  config.system.node.params.psucc = 1.0;
+  config.rounds_per_publish = 25;  // auto-pump after each publish
+  core::PubSub bus(config);
+
+  // Moderators watch the whole server; each room has its own members.
+  std::map<std::string, int> inbox_counts;
+  auto counter = [&](const std::string& who) {
+    return [&inbox_counts, who](const core::Delivery& delivery) {
+      ++inbox_counts[who];
+      std::cout << "  [" << who << "] got \"" << delivery.text() << "\" on "
+                << delivery.topic << "\n";
+    };
+  };
+
+  const auto moderator = bus.subscribe(".chat", counter("moderator"));
+  bus.subscribe(".chat");  // a silent moderator colleague
+  const auto alice = bus.subscribe(".chat.rust", counter("alice@rust"));
+  bus.subscribe(".chat.rust");
+  bus.subscribe(".chat.rust");
+  const auto bob = bus.subscribe(".chat.cpp", counter("bob@cpp"));
+  bus.subscribe(".chat.cpp");
+  bus.pump(5);
+
+  std::cout << "alice posts in .chat.rust:\n";
+  bus.publish(alice, "anyone tried the new borrow checker?");
+
+  std::cout << "bob posts in .chat.cpp:\n";
+  bus.publish(bob, "concepts made my errors readable");
+
+  std::cout << "moderator announces on .chat:\n";
+  bus.publish(moderator, "server maintenance at midnight");
+
+  std::cout << "\ninbox totals:\n";
+  for (const auto& [who, count] : inbox_counts) {
+    std::cout << "  " << who << ": " << count << " message(s)\n";
+  }
+  std::cout << "\nalice is subscribed to " << bus.topic_of(alice)
+            << ": she saw her own room's post, never bob's, and —\n"
+            << "being below .chat, not at it — not the announcement.\n"
+            << "The moderator saw every room's posts (topic inclusion)\n"
+            << "plus the announcement. Parasites: "
+            << bus.system().metrics().parasite_deliveries() << ".\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "baselines/broadcast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dam::baselines {
+
+BaselineResult run_broadcast(const Scenario& scenario) {
+  if (scenario.publish_level >= scenario.group_sizes.size()) {
+    throw std::invalid_argument("run_broadcast: bad publish level");
+  }
+  const std::size_t population = scenario.population();
+
+  FlatGossipSpec spec;
+  spec.population = population;
+  spec.params = scenario.params;
+  spec.alive_fraction = scenario.alive_fraction;
+  spec.failure_mode = scenario.failure_mode;
+  spec.seed = scenario.seed;
+
+  // Processes are laid out level by level: [level 0][level 1]...[level t].
+  // A process at level L is interested in events of the publish topic iff
+  // L <= publish_level (its topic includes the event's topic).
+  spec.interested.assign(population, false);
+  std::size_t offset = 0;
+  for (std::size_t level = 0; level < scenario.group_sizes.size(); ++level) {
+    const std::size_t size = scenario.group_sizes[level];
+    if (level <= scenario.publish_level) {
+      for (std::size_t i = 0; i < size; ++i) spec.interested[offset + i] = true;
+    }
+    if (level == scenario.publish_level) {
+      for (std::size_t i = 0; i < size; ++i) {
+        spec.publisher_candidates.push_back(
+            static_cast<std::uint32_t>(offset + i));
+      }
+    }
+    offset += size;
+  }
+  return run_flat_gossip(spec);
+}
+
+double broadcast_memory_per_process(std::size_t population, double c) {
+  if (population < 2) return c;
+  return std::log(static_cast<double>(population)) + c;
+}
+
+}  // namespace dam::baselines

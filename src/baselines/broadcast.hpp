@@ -1,0 +1,24 @@
+// Baseline (a): gossip-based broadcast (Sec. VI-E).
+//
+// Every event is broadcast to the WHOLE system: all n processes share one
+// membership table of size (b+1)·ln(n) and forward with fanout ln(n)+c,
+// regardless of interests. Reliability is the single-group e^{-e^{-c}} and
+// message complexity O(n·ln n) — but processes receive events of topics
+// they never subscribed to (parasite deliveries), which this baseline
+// exists to quantify.
+#pragma once
+
+#include "baselines/gossip_group.hpp"
+
+namespace dam::baselines {
+
+/// Runs one broadcast dissemination of an event published on
+/// `scenario.publish_level`'s topic. Every process participates; processes
+/// subscribed strictly below the publish level receive parasites.
+[[nodiscard]] BaselineResult run_broadcast(const Scenario& scenario);
+
+/// Memory entries per process under the paper's accounting: ln(n) + c.
+[[nodiscard]] double broadcast_memory_per_process(std::size_t population,
+                                                  double c);
+
+}  // namespace dam::baselines

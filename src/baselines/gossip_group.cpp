@@ -1,0 +1,102 @@
+#include "baselines/gossip_group.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dam::baselines {
+
+BaselineResult run_flat_gossip(const FlatGossipSpec& spec) {
+  if (spec.population == 0) {
+    throw std::invalid_argument("run_flat_gossip: empty population");
+  }
+  if (spec.interested.size() != spec.population) {
+    throw std::invalid_argument("run_flat_gossip: interest mask size");
+  }
+  util::Rng rng(spec.seed);
+  const bool stillborn =
+      spec.failure_mode == StaticFailureMode::kStillborn;
+  const double fail_probability = 1.0 - spec.alive_fraction;
+
+  std::vector<bool> alive(spec.population, true);
+  if (stillborn) {
+    for (std::size_t i = 0; i < spec.population; ++i) {
+      if (rng.bernoulli(fail_probability)) alive[i] = false;
+    }
+  }
+
+  // Frozen uniform tables of (b+1)·ln(n) entries, failed members included.
+  const std::size_t view_size = std::min(
+      spec.params.view_capacity(spec.population), spec.population - 1);
+  std::vector<std::vector<std::uint32_t>> tables(spec.population);
+  {
+    std::vector<std::uint32_t> others;
+    others.reserve(spec.population - 1);
+    for (std::uint32_t i = 0; i < spec.population; ++i) {
+      others.clear();
+      for (std::uint32_t j = 0; j < spec.population; ++j) {
+        if (j != i) others.push_back(j);
+      }
+      tables[i] = rng.sample(others, view_size);
+    }
+  }
+
+  BaselineResult result;
+  for (std::size_t i = 0; i < spec.population; ++i) {
+    if (alive[i] && spec.interested[i]) ++result.interested_alive;
+  }
+
+  // Publisher selection.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i : spec.publisher_candidates) {
+    if (alive[i]) candidates.push_back(i);
+  }
+  if (candidates.empty()) {
+    result.all_interested_delivered = result.interested_alive == 0;
+    return result;
+  }
+
+  std::vector<bool> delivered(spec.population, false);
+  std::deque<std::uint32_t> frontier;
+  const std::uint32_t publisher = candidates[rng.below(candidates.size())];
+  delivered[publisher] = true;
+  frontier.push_back(publisher);
+
+  const std::size_t fanout = spec.params.fanout(spec.population);
+  while (!frontier.empty()) {
+    ++result.rounds;
+    std::deque<std::uint32_t> next;
+    for (std::uint32_t sender : frontier) {
+      const auto targets = rng.sample(tables[sender], fanout);
+      for (std::uint32_t target : targets) {
+        ++result.messages_sent;
+        if (!rng.bernoulli(spec.params.psucc)) continue;
+        if (stillborn) {
+          if (!alive[target]) continue;
+        } else if (rng.bernoulli(fail_probability)) {
+          continue;  // dynamic perception drop
+        }
+        if (!delivered[target]) {
+          delivered[target] = true;
+          next.push_back(target);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  for (std::size_t i = 0; i < spec.population; ++i) {
+    if (!delivered[i] || !alive[i]) continue;
+    if (spec.interested[i]) {
+      ++result.delivered_interested;
+    } else {
+      ++result.parasite_deliveries;
+    }
+  }
+  result.all_interested_delivered =
+      result.delivered_interested == result.interested_alive;
+  return result;
+}
+
+}  // namespace dam::baselines

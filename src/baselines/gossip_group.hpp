@@ -1,0 +1,88 @@
+// Shared machinery for the Section VI-E baseline algorithms.
+//
+// All three baselines ((a) gossip broadcast, (b) gossip multicast,
+// (c) hierarchical gossip broadcast) run over the same frozen-table,
+// synchronous-round regime as the paper's simulation ("for fairness, all
+// approaches use the same underlying membership algorithm"). This header
+// defines the common scenario description, the common result record, and a
+// single-group infection engine with an interest mask (used directly by
+// (a) and (b)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/static_sim.hpp"
+
+namespace dam::baselines {
+
+using core::StaticFailureMode;
+using core::TopicParams;
+
+/// The comparison scenario: a linear topic chain (level 0 = root) with
+/// per-level subscriber counts, an event published on `publish_level`'s
+/// topic, and the shared failure regime. Matches Sec. VII-A when left at
+/// defaults.
+struct Scenario {
+  std::vector<std::size_t> group_sizes{10, 100, 1000};
+  std::size_t publish_level = 2;
+  double alive_fraction = 1.0;
+  StaticFailureMode failure_mode = StaticFailureMode::kStillborn;
+  TopicParams params{};
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::size_t population() const {
+    std::size_t n = 0;
+    for (std::size_t s : group_sizes) n += s;
+    return n;
+  }
+
+  /// Processes interested in an event of `publish_level`'s topic are those
+  /// subscribed at the same level or any level above (their topic includes
+  /// the event's topic).
+  [[nodiscard]] std::size_t interested_population() const {
+    std::size_t n = 0;
+    for (std::size_t level = 0; level <= publish_level; ++level) {
+      n += group_sizes[level];
+    }
+    return n;
+  }
+};
+
+struct BaselineResult {
+  std::uint64_t messages_sent = 0;
+  std::size_t interested_alive = 0;       ///< alive processes wanting the event
+  std::size_t delivered_interested = 0;   ///< of those, how many received it
+  std::uint64_t parasite_deliveries = 0;  ///< deliveries to uninterested procs
+  bool all_interested_delivered = false;
+  std::size_t rounds = 0;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return interested_alive == 0
+               ? 1.0
+               : static_cast<double>(delivered_interested) /
+                     static_cast<double>(interested_alive);
+  }
+};
+
+/// A flat gossip dissemination over `population` processes with frozen
+/// random tables: every infected process forwards once to
+/// ceil(ln(population)+c) distinct table entries. `interested[i]` marks
+/// which deliveries count as useful vs parasitic; *all* processes forward
+/// regardless (that is the defining property of interest-agnostic gossip).
+/// The publisher is drawn uniformly from alive members of
+/// `publisher_candidates`.
+struct FlatGossipSpec {
+  std::size_t population = 0;
+  std::vector<bool> interested;                 ///< size == population
+  std::vector<std::uint32_t> publisher_candidates;
+  TopicParams params{};
+  double alive_fraction = 1.0;
+  StaticFailureMode failure_mode = StaticFailureMode::kStillborn;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] BaselineResult run_flat_gossip(const FlatGossipSpec& spec);
+
+}  // namespace dam::baselines

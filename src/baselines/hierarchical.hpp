@@ -1,0 +1,36 @@
+// Baseline (c): hierarchical gossip-based broadcast ([10], Sec. VI-E).
+//
+// The population is split into N small groups of m processes each,
+// INDEPENDENTLY of interests. Every process keeps two tables: an
+// intra-group view (size ln(m)+c1 fanout) and an inter-group view of
+// contacts in ln(N)+c2 other groups. An infected process gossips inside its
+// group and, with probability 1/m per inter-view entry, across groups — so
+// each fully-infected group emits about ln(N)+c2 intergroup messages,
+// matching the second-level gossip of [10]. Memory is
+// ln(m)+c1+ln(N)+c2 per process; reliability e^{-N·e^{-c1}-e^{-c2}}; but
+// since grouping ignores interests, parasite deliveries abound.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/gossip_group.hpp"
+
+namespace dam::baselines {
+
+struct HierarchicalConfig {
+  std::size_t group_count = 16;  ///< N
+  double c1 = 5.0;               ///< intra-group fanout constant
+  double c2 = 5.0;               ///< inter-group fanout constant
+};
+
+/// Runs one dissemination of an event of `scenario.publish_level`'s topic
+/// under the two-level scheme.
+[[nodiscard]] BaselineResult run_hierarchical(const Scenario& scenario,
+                                              const HierarchicalConfig& config);
+
+/// Memory entries per process: ln(m) + c1 + ln(N) + c2.
+[[nodiscard]] double hierarchical_memory_per_process(std::size_t group_count,
+                                                     std::size_t group_size,
+                                                     double c1, double c2);
+
+}  // namespace dam::baselines

@@ -1,0 +1,55 @@
+#include "baselines/multicast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dam::baselines {
+
+BaselineResult run_multicast(const Scenario& scenario) {
+  if (scenario.publish_level >= scenario.group_sizes.size()) {
+    throw std::invalid_argument("run_multicast: bad publish level");
+  }
+  // Group T_publish contains every process subscribed at levels
+  // 0..publish_level (supertopic subscribers join all subtopic groups).
+  // All members are interested — multicast sends no parasites by design.
+  std::size_t members = 0;
+  std::size_t publishers_from = 0;
+  for (std::size_t level = 0; level <= scenario.publish_level; ++level) {
+    if (level == scenario.publish_level) publishers_from = members;
+    members += scenario.group_sizes[level];
+  }
+
+  FlatGossipSpec spec;
+  spec.population = members;
+  spec.params = scenario.params;
+  spec.alive_fraction = scenario.alive_fraction;
+  spec.failure_mode = scenario.failure_mode;
+  spec.seed = scenario.seed;
+  spec.interested.assign(members, true);
+  // The paper publishes from the event's own topic group.
+  for (std::size_t i = publishers_from; i < members; ++i) {
+    spec.publisher_candidates.push_back(static_cast<std::uint32_t>(i));
+  }
+  return run_flat_gossip(spec);
+}
+
+double multicast_memory_per_process(
+    const std::vector<std::size_t>& group_sizes, std::size_t subscribe_level,
+    double c) {
+  if (subscribe_level >= group_sizes.size()) {
+    throw std::invalid_argument("multicast_memory_per_process: bad level");
+  }
+  // Cumulative group sizes: group T_i = everyone subscribed at level <= i.
+  double total = 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t level = 0; level < group_sizes.size(); ++level) {
+    cumulative += group_sizes[level];
+    if (level < subscribe_level) continue;
+    total += (cumulative >= 2 ? std::log(static_cast<double>(cumulative))
+                              : 0.0) +
+             c;
+  }
+  return total;
+}
+
+}  // namespace dam::baselines

@@ -1,0 +1,28 @@
+// Baseline (b): gossip-based multicast (Sec. IV-A pattern (1), Sec. VI-E).
+//
+// One gossip group per topic, gathering the topic's publishers; a
+// subscriber of Ta joins the group of Ta AND of every subtopic of Ta, so an
+// event of Tb is disseminated in group Tb only. No parasite messages, but a
+// process interested in a high topic carries one membership table per
+// (sub)topic — t tables in a depth-t chain — which is the memory-complexity
+// cost daMulticast eliminates.
+#pragma once
+
+#include "baselines/gossip_group.hpp"
+
+namespace dam::baselines {
+
+/// Runs one dissemination of an event of `scenario.publish_level`'s topic:
+/// a flat gossip inside group T_publish, whose members are all processes
+/// subscribed at the publish level or above.
+[[nodiscard]] BaselineResult run_multicast(const Scenario& scenario);
+
+/// Memory entries for a process subscribed at `subscribe_level` in a chain
+/// with `group_sizes` (index 0 = root): one table of ln(S_i)+c per level i
+/// from its own down to the bottom, where S_i is the size of group T_i
+/// (all processes subscribed at level <= i).
+[[nodiscard]] double multicast_memory_per_process(
+    const std::vector<std::size_t>& group_sizes, std::size_t subscribe_level,
+    double c);
+
+}  // namespace dam::baselines

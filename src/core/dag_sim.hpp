@@ -1,0 +1,71 @@
+// DagSimulation — daMulticast over a topic DAG (multiple inheritance).
+//
+// Implements the paper's conclusion extension: a topic may have several
+// direct supertopics; each process keeps the usual topic table plus ONE
+// SUPERTOPIC TABLE PER direct supertopic of its topic. Dissemination is
+// unchanged within groups; the intergroup leg runs independently toward
+// every parent (election with psel, then pa per table entry), so an event
+// climbs every upward path of the DAG. Duplicate-suppression (the seen
+// set) keeps diamond topologies from double-delivering.
+//
+// Frozen-table regime, like core/static_sim.hpp; used by tests and the
+// multi-inheritance ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "topics/dag.hpp"
+
+namespace dam::core {
+
+struct DagSimConfig {
+  const topics::TopicDag* dag = nullptr;
+  /// Subscribers per topic, indexed by DagTopicId::value. Every topic must
+  /// have at least one subscriber (as in the paper's analysis, Sec. VI-A).
+  std::vector<std::size_t> group_sizes;
+  TopicParams params{};
+  double alive_fraction = 1.0;
+  topics::DagTopicId publish_topic{};
+  std::uint64_t seed = 1;
+};
+
+struct DagGroupResult {
+  std::size_t size = 0;
+  std::size_t alive = 0;
+  std::uint64_t intra_sent = 0;
+  std::uint64_t inter_sent = 0;      ///< toward ALL parents combined
+  std::uint64_t inter_received = 0;  ///< from all children combined
+  std::size_t delivered = 0;
+  std::size_t duplicate_deliveries = 0;  ///< suppressed re-receptions
+  bool all_alive_delivered = false;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return alive == 0 ? 1.0
+                      : static_cast<double>(delivered) /
+                            static_cast<double>(alive);
+  }
+};
+
+struct DagRunResult {
+  /// Indexed by DagTopicId::value. Topics outside the publish topic's
+  /// ancestor closure legitimately stay at zero.
+  std::vector<DagGroupResult> groups;
+  std::size_t rounds = 0;
+  std::uint64_t total_messages = 0;
+
+  /// Per-process membership entries for a member of `topic`:
+  /// topic table + z per direct supertopic.
+  [[nodiscard]] static double memory_per_process(const topics::TopicDag& dag,
+                                                 topics::DagTopicId topic,
+                                                 const TopicParams& params,
+                                                 std::size_t group_size);
+};
+
+/// Runs one publication to quiescence over the DAG.
+[[nodiscard]] DagRunResult run_dag_simulation(const DagSimConfig& config);
+
+}  // namespace dam::core

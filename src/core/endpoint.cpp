@@ -1,0 +1,96 @@
+#include "core/endpoint.hpp"
+
+#include <stdexcept>
+
+namespace dam::core {
+
+EndpointManager::EndpointManager(DamSystem& system) : system_(&system) {
+  system_->set_delivery_handler(
+      [this](ProcessId subscriber, const Message& event_msg) {
+        auto it = owner_of_process_.find(subscriber.value);
+        if (it == owner_of_process_.end()) return;  // unmanaged process
+        Endpoint& endpoint = endpoints_[it->second];
+        if (!endpoint.received.insert(event_msg.event).second) {
+          ++endpoint.duplicates;  // another interest already got it
+          return;
+        }
+        if (endpoint.callback) {
+          endpoint.callback(EndpointId{it->second}, event_msg);
+        }
+      });
+}
+
+EndpointId EndpointManager::create_endpoint(Callback callback) {
+  const auto id = EndpointId{static_cast<std::uint32_t>(endpoints_.size())};
+  Endpoint endpoint;
+  endpoint.callback = std::move(callback);
+  endpoints_.push_back(std::move(endpoint));
+  return id;
+}
+
+ProcessId EndpointManager::add_interest(EndpointId endpoint, TopicId topic) {
+  Endpoint& owner = endpoint_of(endpoint);
+  const ProcessId process = system_->spawn(topic);
+  owner.processes.push_back(process);
+  owner.interests.push_back(topic);
+  owner_of_process_[process.value] = endpoint.value;
+  return process;
+}
+
+const std::vector<ProcessId>& EndpointManager::processes(
+    EndpointId endpoint) const {
+  return endpoint_of(endpoint).processes;
+}
+
+std::size_t EndpointManager::unique_deliveries(EndpointId endpoint) const {
+  return endpoint_of(endpoint).received.size();
+}
+
+std::size_t EndpointManager::cross_interest_duplicates(
+    EndpointId endpoint) const {
+  return endpoint_of(endpoint).duplicates;
+}
+
+bool EndpointManager::has_received(EndpointId endpoint,
+                                   net::EventId event) const {
+  return endpoint_of(endpoint).received.contains(event);
+}
+
+std::vector<topics::TopicId> EndpointManager::redundant_interests(
+    EndpointId endpoint) const {
+  const Endpoint& owner = endpoint_of(endpoint);
+  const auto& hierarchy = system_->registry().hierarchy();
+  std::vector<TopicId> redundant;
+  for (std::size_t i = 0; i < owner.interests.size(); ++i) {
+    for (std::size_t j = 0; j < owner.interests.size(); ++j) {
+      if (i == j) continue;
+      // An interest on T receives every event published on topics T
+      // includes (events climb from subtopics). So interest i is redundant
+      // iff some other interest j strictly includes it: j's event set is a
+      // superset of i's.
+      if (hierarchy.includes(owner.interests[j], owner.interests[i]) &&
+          owner.interests[i] != owner.interests[j]) {
+        redundant.push_back(owner.interests[i]);
+        break;
+      }
+    }
+  }
+  return redundant;
+}
+
+const EndpointManager::Endpoint& EndpointManager::endpoint_of(
+    EndpointId id) const {
+  if (id.value >= endpoints_.size()) {
+    throw std::out_of_range("EndpointManager: unknown endpoint");
+  }
+  return endpoints_[id.value];
+}
+
+EndpointManager::Endpoint& EndpointManager::endpoint_of(EndpointId id) {
+  if (id.value >= endpoints_.size()) {
+    throw std::out_of_range("EndpointManager: unknown endpoint");
+  }
+  return endpoints_[id.value];
+}
+
+}  // namespace dam::core

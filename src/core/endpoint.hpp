@@ -1,0 +1,91 @@
+// Multi-interest endpoints.
+//
+// The paper assumes "for presentation simplicity ... a process is
+// interested in one topic Ti only" (Sec. III-A). A real application node
+// often wants several unrelated topics. EndpointManager lifts the
+// restriction the way the paper implies: one protocol process per
+// interest, all owned by the same application endpoint, with deliveries
+// deduplicated across them (interests may overlap through inclusion, e.g.
+// subscribing to both ".a" and ".a.b" would otherwise double-deliver
+// ".a.b" events).
+//
+// Related work note: reference [7] (Jenkins et al.) exploits such overlaps
+// to reduce gossip work; the paper points out it "could hence be combined
+// with daMulticast". This manager is the integration point for that: it
+// already detects redundant interests (see `redundant_interests`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace dam::core {
+
+/// Handle for an application endpoint (NOT a protocol process id).
+struct EndpointId {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const EndpointId&, const EndpointId&) = default;
+};
+
+class EndpointManager {
+ public:
+  /// The manager installs itself as the system's delivery handler; create
+  /// it before publishing and keep it alive as long as the system.
+  explicit EndpointManager(DamSystem& system);
+
+  using Callback =
+      std::function<void(EndpointId, const Message& event_msg)>;
+
+  /// Creates an endpoint; `callback` fires once per event the endpoint
+  /// receives (deduplicated across its interests).
+  EndpointId create_endpoint(Callback callback = nullptr);
+
+  /// Adds an interest: spawns a protocol process on `topic` owned by
+  /// `endpoint`; returns the new process id.
+  ProcessId add_interest(EndpointId endpoint, TopicId topic);
+
+  /// Protocol processes owned by `endpoint`.
+  [[nodiscard]] const std::vector<ProcessId>& processes(
+      EndpointId endpoint) const;
+
+  /// Events delivered to `endpoint` (each counted once).
+  [[nodiscard]] std::size_t unique_deliveries(EndpointId endpoint) const;
+
+  /// Deliveries suppressed because another of the endpoint's processes
+  /// already received the event.
+  [[nodiscard]] std::size_t cross_interest_duplicates(
+      EndpointId endpoint) const;
+
+  /// True iff the endpoint received `event` (through any interest).
+  [[nodiscard]] bool has_received(EndpointId endpoint,
+                                  net::EventId event) const;
+
+  /// Interests of `endpoint` that are redundant: included in another of
+  /// its interests (their events would arrive anyway). The hook for a
+  /// [7]-style optimization.
+  [[nodiscard]] std::vector<TopicId> redundant_interests(
+      EndpointId endpoint) const;
+
+ private:
+  struct Endpoint {
+    Callback callback;
+    std::vector<ProcessId> processes;
+    std::vector<TopicId> interests;
+    std::unordered_set<net::EventId> received;
+    std::size_t duplicates = 0;
+  };
+
+  const Endpoint& endpoint_of(EndpointId id) const;
+  Endpoint& endpoint_of(EndpointId id);
+
+  DamSystem* system_;
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::uint32_t, std::uint32_t> owner_of_process_;
+};
+
+}  // namespace dam::core

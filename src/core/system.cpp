@@ -1,0 +1,216 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+
+namespace dam::core {
+
+const std::unordered_set<ProcessId> DamSystem::kNoDeliveries{};
+
+namespace {
+net::Transport::Config effective_transport(const DamSystem::Config& config) {
+  net::Transport::Config t = config.transport;
+  // Unless the caller set an explicit channel quality, use the protocol
+  // parameter psucc so one knob controls both.
+  if (t.psucc == 1.0) t.psucc = config.node.params.psucc;
+  return t;
+}
+}  // namespace
+
+DamSystem::DamSystem(const topics::TopicHierarchy& hierarchy, Config config)
+    : hierarchy_(&hierarchy),
+      config_(config),
+      rng_(config.seed),
+      registry_(hierarchy),
+      failures_(std::make_unique<sim::NoFailures>()),
+      transport_(effective_transport(config), rng_.fork(0x7A4), nullptr) {
+  // Transport consults the failure model through a stable pointer; set it
+  // after failures_ is initialized.
+  transport_ = net::Transport(effective_transport(config), rng_.fork(0x7A4),
+                              failures_.get());
+}
+
+DamSystem::~DamSystem() = default;
+
+ProcessId DamSystem::spawn(TopicId topic) {
+  const ProcessId id = registry_.add_process(topic);
+  // Grow the bootstrap overlay to cover the new process.
+  while (neighborhood_.process_count() < registry_.process_count()) {
+    neighborhood_.add_process(config_.neighborhood_degree, rng_);
+  }
+  const std::size_t group_size = registry_.group_size(topic);
+  auto node = std::make_unique<DamNode>(id, topic, hierarchy_, config_.node,
+                                        group_size, rng_.fork(id.value), this);
+
+  // Join contacts: a few random existing members of the same group.
+  std::vector<ProcessId> peers;
+  for (ProcessId member : registry_.group(topic)) {
+    if (member != id) peers.push_back(member);
+  }
+  const auto contacts =
+      rng_.sample(peers, config_.node.params.view_capacity(group_size));
+
+  std::vector<ProcessId> super_contacts;
+  std::optional<TopicId> super_contacts_topic;
+  if (config_.auto_wire_super_tables) {
+    if (auto super = registry_.nearest_nonempty_supergroup(topic)) {
+      super_contacts = rng_.sample(registry_.group(*super),
+                                   config_.node.params.z);
+      super_contacts_topic = *super;
+    }
+  }
+
+  nodes_.push_back(std::move(node));
+  nodes_.back()->subscribe(contacts, super_contacts, super_contacts_topic);
+
+  // Keep group-size estimates current for every member of this group.
+  for (ProcessId member : registry_.group(topic)) {
+    nodes_[member.value]->update_group_size_estimate(group_size);
+  }
+  return id;
+}
+
+std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
+                                              std::size_t count) {
+  std::vector<ProcessId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(spawn(topic));
+  return ids;
+}
+
+void DamSystem::set_failure_model(std::unique_ptr<sim::FailureModel> model) {
+  failures_ = std::move(model);
+  transport_ = net::Transport(effective_transport(config_), rng_.fork(0x7A5),
+                              failures_.get());
+}
+
+void DamSystem::run_rounds(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const sim::Round round = clock_.now();
+    timers_.run_until(round);
+    transport_.deliver_round(round, [this, round](const Message& msg) {
+      if (msg.to.value >= nodes_.size()) return;
+      if (!failures_->alive(msg.to, round)) return;
+      nodes_[msg.to.value]->on_message(msg);
+    });
+    for (auto& node : nodes_) {
+      if (failures_->alive(node->self(), round)) node->round(round);
+    }
+    clock_.tick();
+  }
+}
+
+net::EventId DamSystem::publish(ProcessId publisher,
+                                std::vector<std::uint8_t> payload) {
+  DamNode& source = node(publisher);
+  const net::EventId event = source.publish(std::move(payload));
+  publications_[event] = Publication{
+      source.topic(), registry_.interested_set(source.topic())};
+  if (trace_ != nullptr) {
+    sim::TraceEntry entry;
+    entry.round = clock_.now();
+    entry.kind = sim::TraceKind::kPublish;
+    entry.from = publisher;
+    entry.to = publisher;
+    entry.topic = source.topic();
+    entry.publisher = event.publisher;
+    entry.sequence = event.sequence;
+    trace_->record(entry);
+  }
+  return event;
+}
+
+void DamSystem::schedule(sim::Round round, std::function<void()> fn) {
+  timers_.schedule_at(round, std::move(fn));
+}
+
+void DamSystem::send(Message&& msg) {
+  // Account the message against the sender's group, by kind.
+  const TopicId sender_topic = registry_.topic_of(msg.from);
+  auto& counters = metrics_.group(sender_topic);
+  if (msg.kind == MsgKind::kEvent) {
+    if (msg.intergroup) {
+      ++counters.inter_sent;
+      if (auto super = registry_.nearest_nonempty_supergroup(sender_topic)) {
+        ++metrics_.group(*super).inter_received;  // boundary accounting
+      }
+    } else {
+      ++counters.intra_sent;
+    }
+  } else {
+    ++counters.control_sent;
+  }
+  if (trace_ != nullptr) {
+    sim::TraceEntry entry;
+    entry.round = clock_.now();
+    entry.kind = msg.kind == MsgKind::kEvent
+                     ? (msg.intergroup ? sim::TraceKind::kInterSend
+                                       : sim::TraceKind::kEventSend)
+                     : sim::TraceKind::kControlSend;
+    entry.from = msg.from;
+    entry.to = msg.to;
+    entry.topic = msg.kind == MsgKind::kEvent ? msg.topic : sender_topic;
+    entry.publisher = msg.event.publisher;
+    entry.sequence = msg.event.sequence;
+    trace_->record(entry);
+  }
+  transport_.send(std::move(msg), clock_.now());
+}
+
+const std::vector<ProcessId>& DamSystem::neighborhood(ProcessId self) const {
+  return neighborhood_.neighbors(self);
+}
+
+bool DamSystem::probe_alive(ProcessId target) const {
+  return failures_->alive(target, clock_.now());
+}
+
+void DamSystem::deliver(ProcessId self, const Message& event_msg) {
+  deliveries_[event_msg.event].insert(self);
+  ++metrics_.group(registry_.topic_of(self)).delivered;
+  metrics_.note_infection(clock_.now());
+  if (!registry_.interested_in(self, event_msg.topic)) {
+    // Never expected for daMulticast — the property tests assert on this.
+    metrics_.count_parasite_delivery();
+  }
+  if (trace_ != nullptr) {
+    sim::TraceEntry entry;
+    entry.round = clock_.now();
+    entry.kind = sim::TraceKind::kDeliver;
+    entry.from = event_msg.from;
+    entry.to = self;
+    entry.topic = event_msg.topic;
+    entry.publisher = event_msg.event.publisher;
+    entry.sequence = event_msg.event.sequence;
+    trace_->record(entry);
+  }
+  if (delivery_handler_) delivery_handler_(self, event_msg);
+}
+
+const std::unordered_set<ProcessId>& DamSystem::delivered_set(
+    net::EventId event) const {
+  auto it = deliveries_.find(event);
+  return it == deliveries_.end() ? kNoDeliveries : it->second;
+}
+
+double DamSystem::delivery_ratio(net::EventId event) const {
+  auto pub = publications_.find(event);
+  if (pub == publications_.end()) return 0.0;
+  const auto& delivered = delivered_set(event);
+  std::size_t alive_interested = 0;
+  std::size_t alive_delivered = 0;
+  const sim::Round round = clock_.now();
+  for (ProcessId p : pub->second.interested) {
+    if (!failures_->alive(p, round)) continue;
+    ++alive_interested;
+    if (delivered.contains(p)) ++alive_delivered;
+  }
+  if (alive_interested == 0) return 1.0;
+  return static_cast<double>(alive_delivered) /
+         static_cast<double>(alive_interested);
+}
+
+bool DamSystem::all_delivered(net::EventId event) const {
+  return delivery_ratio(event) >= 1.0;
+}
+
+}  // namespace dam::core

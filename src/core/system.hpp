@@ -1,0 +1,148 @@
+// DamSystem — the dynamic-mode simulation harness.
+//
+// Hosts a population of DamNodes over the lossy transport, the bootstrap
+// neighborhood overlay, a failure model, and the metrics collector. This is
+// the "whole system" entry point used by the examples, the integration
+// tests, and the bootstrap/ablation benches. (The figure benches use the
+// specialized static-table engine in core/static_sim.hpp, which reproduces
+// the paper's frozen-membership setting exactly.)
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/node.hpp"
+#include "net/neighborhood.hpp"
+#include "net/transport.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+#include "topics/subscriptions.hpp"
+
+namespace dam::core {
+
+class DamSystem final : public Env {
+ public:
+  struct Config {
+    NodeConfig node;                       ///< defaults for every node
+    net::Transport::Config transport{};    ///< psucc defaults to node.params
+    std::size_t neighborhood_degree = 4;   ///< bootstrap overlay degree
+    std::uint64_t seed = 1;
+    bool auto_wire_super_tables = false;   ///< skip bootstrap: fill sTables
+                                           ///< from global knowledge (fast
+                                           ///< path for benches/examples)
+  };
+
+  DamSystem(const topics::TopicHierarchy& hierarchy, Config config);
+  ~DamSystem() override;
+
+  DamSystem(const DamSystem&) = delete;
+  DamSystem& operator=(const DamSystem&) = delete;
+
+  /// Creates a process interested in `topic` and subscribes it. Join
+  /// contacts are sampled from the existing group members; super contacts
+  /// are filled only when `auto_wire_super_tables` is set.
+  ProcessId spawn(TopicId topic);
+
+  /// Spawns `count` processes on `topic`.
+  std::vector<ProcessId> spawn_group(TopicId topic, std::size_t count);
+
+  /// Installs a failure model (defaults to NoFailures). The system keeps
+  /// ownership; pass by unique_ptr.
+  void set_failure_model(std::unique_ptr<sim::FailureModel> model);
+
+  /// Runs `count` synchronous rounds: deliver in-flight messages, then give
+  /// every alive node its periodic round() slot.
+  void run_rounds(std::size_t count);
+
+  /// Publishes a fresh event from `publisher` (must be alive) and returns
+  /// its id. Dissemination happens over subsequent rounds. `payload` is
+  /// opaque application data carried with the event.
+  net::EventId publish(ProcessId publisher,
+                       std::vector<std::uint8_t> payload = {});
+
+  /// Application-level delivery hook: called once per (process, event)
+  /// first delivery, after internal bookkeeping. Optional.
+  using DeliveryHandler =
+      std::function<void(ProcessId subscriber, const Message& event_msg)>;
+  void set_delivery_handler(DeliveryHandler handler) {
+    delivery_handler_ = std::move(handler);
+  }
+
+  /// Attaches a caller-owned trace recorder (nullptr detaches). Records
+  /// publishes, event/control sends, and first-time deliveries.
+  void set_trace_recorder(sim::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
+  /// Schedules `fn` to run at the start of `round` (before delivery).
+  void schedule(sim::Round round, std::function<void()> fn);
+
+  // --- Env ---
+  [[nodiscard]] sim::Round now() const override { return clock_.now(); }
+  void send(Message&& msg) override;
+  [[nodiscard]] const std::vector<ProcessId>& neighborhood(
+      ProcessId self) const override;
+  [[nodiscard]] bool probe_alive(ProcessId target) const override;
+  void deliver(ProcessId self, const Message& event_msg) override;
+
+  // --- observers ---
+  [[nodiscard]] const DamNode& node(ProcessId id) const {
+    return *nodes_.at(id.value);
+  }
+  [[nodiscard]] DamNode& node(ProcessId id) { return *nodes_.at(id.value); }
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const topics::SubscriptionRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const sim::Metrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const net::Transport& transport() const noexcept {
+    return transport_;
+  }
+  [[nodiscard]] const sim::FailureModel& failure_model() const noexcept {
+    return *failures_;
+  }
+
+  /// Processes that delivered `event` so far.
+  [[nodiscard]] const std::unordered_set<ProcessId>& delivered_set(
+      net::EventId event) const;
+
+  /// Fraction of *alive interested* processes that delivered `event`
+  /// (the paper's reliability measurand for one run).
+  [[nodiscard]] double delivery_ratio(net::EventId event) const;
+
+  /// True iff every alive interested process delivered `event`.
+  [[nodiscard]] bool all_delivered(net::EventId event) const;
+
+ private:
+  struct Publication {
+    TopicId topic;
+    std::vector<ProcessId> interested;  // snapshot at publish time
+  };
+
+  const topics::TopicHierarchy* hierarchy_;
+  Config config_;
+  util::Rng rng_;
+  topics::SubscriptionRegistry registry_;
+  std::unique_ptr<sim::FailureModel> failures_;
+  net::Transport transport_;
+  net::Neighborhood neighborhood_;
+  sim::Clock clock_;
+  sim::EventQueue timers_;
+  sim::Metrics metrics_;
+  std::vector<std::unique_ptr<DamNode>> nodes_;
+  DeliveryHandler delivery_handler_;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::unordered_map<net::EventId, std::unordered_set<ProcessId>> deliveries_;
+  std::unordered_map<net::EventId, Publication> publications_;
+  static const std::unordered_set<ProcessId> kNoDeliveries;
+};
+
+}  // namespace dam::core

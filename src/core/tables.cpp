@@ -1,0 +1,45 @@
+#include "core/tables.hpp"
+
+#include <algorithm>
+
+namespace dam::core {
+
+bool SuperTopicTable::contains(ProcessId p) const noexcept {
+  return std::find(entries_.begin(), entries_.end(), p) != entries_.end();
+}
+
+void SuperTopicTable::merge(TopicId topic, const std::vector<ProcessId>& fresh,
+                            const std::function<bool(ProcessId)>& alive,
+                            bool replace) {
+  if (replace || !super_topic_ || *super_topic_ != topic) {
+    entries_.clear();
+  }
+  super_topic_ = topic;
+  // Keep favorites: current entries that still pass the aliveness probe.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](ProcessId p) { return !alive(p); }),
+                 entries_.end());
+  for (ProcessId p : fresh) {
+    if (entries_.size() >= z_) break;
+    if (p == owner_ || contains(p)) continue;
+    entries_.push_back(p);
+  }
+}
+
+std::size_t SuperTopicTable::check(
+    const std::function<bool(ProcessId)>& alive) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [&](ProcessId p) { return alive(p); }));
+}
+
+std::size_t SuperTopicTable::drop_failed(
+    const std::function<bool(ProcessId)>& alive) {
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](ProcessId p) { return !alive(p); }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+}  // namespace dam::core

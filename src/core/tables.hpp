@@ -1,0 +1,75 @@
+// The two membership tables of a daMulticast process (Sec. V-A.1, Fig. 3).
+//
+//  * Topic table (Table^l_Ti)  — processes interested in the same topic;
+//    populated and kept fresh by the underlying gossip membership. Size
+//    (b+1)·ln(S). We wrap membership::PartialView.
+//  * Supertopic table (sTable^l_Ti) — constant size z; holds processes of
+//    the nearest non-empty supergroup. MERGE keeps "favorite" (still-alive)
+//    entries and fills the rest with fresh ones (footnote 5); CHECK counts
+//    alive entries via an aliveness probe (footnote 7: timeouts).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "membership/view.hpp"
+#include "topics/topic.hpp"
+#include "util/rng.hpp"
+
+namespace dam::core {
+
+using membership::PartialView;
+using topics::ProcessId;
+using topics::TopicId;
+
+class SuperTopicTable {
+ public:
+  SuperTopicTable(ProcessId owner, std::size_t z) : owner_(owner), z_(z) {}
+
+  /// Which supergroup the entries belong to. Not necessarily the direct
+  /// supertopic: if no process is interested in super(Ti), this is the
+  /// first supertopic (walking up) with interested processes (footnote 4).
+  [[nodiscard]] std::optional<TopicId> super_topic() const noexcept {
+    return super_topic_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return z_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const std::vector<ProcessId>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] bool contains(ProcessId p) const noexcept;
+
+  /// MERGE (footnote 5): keep current entries that are still alive
+  /// according to `alive`, then top up with `fresh` (skipping duplicates
+  /// and the owner) up to capacity z. If `topic` differs from the current
+  /// super topic, the table is re-targeted: a *lower* (deeper) topic in
+  /// the hierarchy wins because it is closer to the direct supertopic —
+  /// the caller resolves that policy and passes `replace = true` to wipe
+  /// first.
+  void merge(TopicId topic, const std::vector<ProcessId>& fresh,
+             const std::function<bool(ProcessId)>& alive, bool replace = false);
+
+  /// CHECK (footnote 7): number of entries currently alive per the probe.
+  [[nodiscard]] std::size_t check(
+      const std::function<bool(ProcessId)>& alive) const;
+
+  /// Removes entries that fail the probe; returns how many were dropped.
+  std::size_t drop_failed(const std::function<bool(ProcessId)>& alive);
+
+  void clear() noexcept {
+    entries_.clear();
+    super_topic_.reset();
+  }
+
+ private:
+  ProcessId owner_;
+  std::size_t z_;
+  std::optional<TopicId> super_topic_;
+  std::vector<ProcessId> entries_;
+};
+
+}  // namespace dam::core

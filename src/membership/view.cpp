@@ -1,0 +1,33 @@
+#include "membership/view.hpp"
+
+namespace dam::membership {
+
+bool PartialView::insert(ProcessId p, util::Rng& rng) {
+  if (p == owner_ || capacity_ == 0) return false;
+  if (contains(p)) return false;
+  if (full()) {
+    // Uniform random eviction keeps the view an (approximately) uniform
+    // sample of the group under repeated gossip exchanges.
+    entries_[rng.below(entries_.size())] = p;
+    return true;
+  }
+  entries_.push_back(p);
+  return true;
+}
+
+bool PartialView::erase(ProcessId p) {
+  auto it = std::find(entries_.begin(), entries_.end(), p);
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void PartialView::set_capacity(std::size_t capacity, util::Rng& rng) {
+  capacity_ = capacity;
+  while (entries_.size() > capacity_) {
+    entries_[rng.below(entries_.size())] = entries_.back();
+    entries_.pop_back();
+  }
+}
+
+}  // namespace dam::membership

@@ -1,0 +1,80 @@
+// Bounded partial membership view.
+//
+// The underlying membership substrate ([10], Kermarrec–Massoulié–Ganesh)
+// gives every process a uniform random partial view of its group, of size
+// (b+1)·ln(S). This container enforces the bound: inserting into a full
+// view evicts a uniformly random entry, which is what keeps views uniform
+// under gossip exchange. Never contains duplicates or the owner itself.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "topics/subscriptions.hpp"
+#include "util/rng.hpp"
+
+namespace dam::membership {
+
+using topics::ProcessId;
+
+class PartialView {
+ public:
+  PartialView(ProcessId owner, std::size_t capacity)
+      : owner_(owner), capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return size() >= capacity_; }
+  [[nodiscard]] ProcessId owner() const noexcept { return owner_; }
+
+  [[nodiscard]] bool contains(ProcessId p) const noexcept {
+    return std::find(entries_.begin(), entries_.end(), p) != entries_.end();
+  }
+
+  /// Inserts `p`. Ignores the owner and duplicates. When full, evicts a
+  /// uniformly random current entry. Returns true if `p` is now present
+  /// and was not before.
+  bool insert(ProcessId p, util::Rng& rng);
+
+  /// Removes `p` if present; returns true if removed.
+  bool erase(ProcessId p);
+
+  /// Retains only entries satisfying `keep`.
+  template <typename Predicate>
+  void retain(Predicate keep) {
+    entries_.erase(
+        std::remove_if(entries_.begin(), entries_.end(),
+                       [&](ProcessId p) { return !keep(p); }),
+        entries_.end());
+  }
+
+  /// Up to `k` distinct entries drawn uniformly.
+  [[nodiscard]] std::vector<ProcessId> sample(std::size_t k,
+                                              util::Rng& rng) const {
+    return rng.sample(entries_, k);
+  }
+
+  /// A uniformly random entry. Precondition: !empty().
+  [[nodiscard]] ProcessId pick(util::Rng& rng) const {
+    return entries_[rng.below(entries_.size())];
+  }
+
+  [[nodiscard]] const std::vector<ProcessId>& entries() const noexcept {
+    return entries_;
+  }
+
+  void clear() noexcept { entries_.clear(); }
+
+  /// Grows or shrinks the capacity (group-size estimates change as
+  /// membership gossip spreads). Shrinking evicts random entries.
+  void set_capacity(std::size_t capacity, util::Rng& rng);
+
+ private:
+  ProcessId owner_;
+  std::size_t capacity_;
+  std::vector<ProcessId> entries_;
+};
+
+}  // namespace dam::membership

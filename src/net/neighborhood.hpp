@@ -1,0 +1,54 @@
+// The weakly-consistent bootstrap overlay.
+//
+// Fig. 4's FIND_SUPER_CONTACT floods REQCONTACT messages through
+// `neighborhood(p)` — "the nearest set of reachable processes" known via a
+// weakly consistent global membership (Sec. III-B, V-A.2a). We model it as
+// a random k-out digraph symmetrized into an undirected graph: each process
+// knows a small random set of peers irrespective of topic interest. The
+// overlay carries only bootstrap traffic, never events.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topics/subscriptions.hpp"
+#include "util/rng.hpp"
+
+namespace dam::net {
+
+using topics::ProcessId;
+
+class Neighborhood {
+ public:
+  /// Builds the overlay over processes {0..n-1}: every process draws
+  /// `degree` distinct random peers; edges are symmetrized. With n <= 1 the
+  /// overlay is empty.
+  static Neighborhood random(std::size_t process_count, std::size_t degree,
+                             util::Rng& rng);
+
+  /// An explicitly given adjacency (tests).
+  explicit Neighborhood(std::vector<std::vector<ProcessId>> adjacency)
+      : adjacency_(std::move(adjacency)) {}
+
+  Neighborhood() = default;
+
+  [[nodiscard]] const std::vector<ProcessId>& neighbors(ProcessId p) const {
+    return adjacency_.at(p.value);
+  }
+
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return adjacency_.size();
+  }
+
+  /// True if every process can reach every other (BFS) — sanity check used
+  /// by tests; bootstrap termination needs connectivity.
+  [[nodiscard]] bool connected() const;
+
+  /// Adds a late-joining process with `degree` random existing contacts.
+  ProcessId add_process(std::size_t degree, util::Rng& rng);
+
+ private:
+  std::vector<std::vector<ProcessId>> adjacency_;
+};
+
+}  // namespace dam::net

@@ -1,0 +1,39 @@
+#include "net/transport.hpp"
+
+namespace dam::net {
+
+void Transport::send(Message msg, sim::Round now) {
+  ++stats_.sent;
+  stats_.bytes_sent += encoded_size(msg);
+  msg.sent_at = now;
+  if (config_.loss_at_send && !rng_.bernoulli(config_.psucc)) {
+    ++stats_.lost_channel;
+    return;
+  }
+  in_flight_[now + config_.delay].push_back(std::move(msg));
+}
+
+void Transport::deliver_round(
+    sim::Round round, const std::function<void(const Message&)>& sink) {
+  auto it = in_flight_.find(round);
+  if (it == in_flight_.end()) return;
+  // Move the batch out before invoking handlers: handlers send new
+  // messages, which must land in *later* rounds, never this batch.
+  std::vector<Message> batch = std::move(it->second);
+  in_flight_.erase(it);
+  for (const Message& msg : batch) {
+    if (!config_.loss_at_send && !rng_.bernoulli(config_.psucc)) {
+      ++stats_.lost_channel;
+      continue;
+    }
+    if (failures_ != nullptr &&
+        !failures_->deliverable(msg.from, msg.to, round, rng_)) {
+      ++stats_.lost_failure;
+      continue;
+    }
+    ++stats_.delivered;
+    sink(msg);
+  }
+}
+
+}  // namespace dam::net

@@ -1,0 +1,67 @@
+// In-memory lossy transport.
+//
+// Models the paper's "unreliable, i.e. best effort, channels" (Sec. III-A):
+// every message is independently delivered with probability `psucc`
+// (Sec. VII-A sets 0.85) one round after it is sent, and only if the
+// failure model lets it through (target alive / perceived alive). Delivery
+// order within a round is the send order, keeping runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/failure.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dam::net {
+
+class Transport {
+ public:
+  struct Config {
+    double psucc = 1.0;       ///< per-message delivery probability
+    sim::Round delay = 1;     ///< rounds between send and delivery
+    bool loss_at_send = false;///< drop lost messages at send() time instead
+                              ///< of delivery (saves queue space; same law)
+  };
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost_channel = 0;   ///< dropped by the psucc coin
+    std::uint64_t lost_failure = 0;   ///< dropped because target (perceived) failed
+    std::uint64_t bytes_sent = 0;
+  };
+
+  Transport(Config config, util::Rng rng, const sim::FailureModel* failures)
+      : config_(config), rng_(rng), failures_(failures) {}
+
+  /// Queues `msg` for delivery at `now + delay`.
+  void send(Message msg, sim::Round now);
+
+  /// Delivers every message due at `round` (in send order) to `sink`.
+  /// Messages the channel loses or whose target is (perceived) failed are
+  /// counted but not delivered.
+  void deliver_round(sim::Round round,
+                     const std::function<void(const Message&)>& sink);
+
+  /// True if any message is still in flight.
+  [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  const sim::FailureModel* failures_;
+  std::map<sim::Round, std::vector<Message>> in_flight_;
+  Stats stats_;
+};
+
+}  // namespace dam::net

@@ -1,0 +1,12 @@
+#include "sim/clock.hpp"
+
+#include <cassert>
+
+namespace dam::sim {
+
+void Clock::advance_to(Round round) noexcept {
+  assert(round >= now_ && "Clock must not move backwards");
+  now_ = round;
+}
+
+}  // namespace dam::sim

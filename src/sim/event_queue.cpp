@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dam::sim {
+
+std::uint64_t EventQueue::schedule_at(Round when, Callback fn) {
+  const std::uint64_t token = next_seq_++;
+  heap_.push(Entry{when, token, std::move(fn), false});
+  ++pending_count_;
+  return token;
+}
+
+bool EventQueue::cancel(std::uint64_t token) {
+  // Tokens are sequence numbers; a pending token is one issued but not yet
+  // executed nor previously cancelled.
+  if (token >= next_seq_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), token) !=
+      cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(token);
+  if (pending_count_ > 0) --pending_count_;
+  return true;
+}
+
+Round EventQueue::next_round() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_round: empty");
+  return heap_.top().when;
+}
+
+std::size_t EventQueue::run_until(Round upto) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= upto) {
+    // priority_queue::top returns const&; we need to move the callback out.
+    Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), entry.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --pending_count_;
+    entry.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dam::sim

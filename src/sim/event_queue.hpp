@@ -1,0 +1,64 @@
+// Deterministic discrete-event queue.
+//
+// Events scheduled for the same round fire in scheduling order (a strictly
+// increasing sequence number breaks ties), so simulation runs are exactly
+// reproducible for a given seed regardless of container internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace dam::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run at `when`. Returns a token usable with cancel().
+  std::uint64_t schedule_at(Round when, Callback fn);
+
+  /// Cancels a scheduled event. Idempotent; cancelling a fired event is a
+  /// no-op. Returns true if the event was still pending.
+  bool cancel(std::uint64_t token);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return pending_count_ == 0;
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_count_; }
+
+  /// Round of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Round next_round() const;
+
+  /// Runs all events scheduled at rounds <= `upto`, in (round, seq) order.
+  /// Events scheduled during execution at rounds <= `upto` also run.
+  /// Returns the number of events executed.
+  std::size_t run_until(Round upto);
+
+ private:
+  struct Entry {
+    Round when;
+    std::uint64_t seq;
+    Callback fn;
+    bool cancelled = false;
+
+    // min-heap by (when, seq)
+    friend bool operator>(const Entry& a, const Entry& b) noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::uint64_t> cancelled_;  // tokens awaiting removal
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_count_ = 0;
+};
+
+}  // namespace dam::sim

@@ -1,0 +1,52 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dam::sim {
+
+StillbornFailures StillbornFailures::sample(
+    const std::vector<ProcessId>& processes, double alive_fraction,
+    util::Rng& rng) {
+  StillbornFailures model;
+  const double fail_probability = 1.0 - alive_fraction;
+  for (ProcessId process : processes) {
+    if (rng.bernoulli(fail_probability)) model.fail(process);
+  }
+  return model;
+}
+
+void ChurnFailures::add_downtime(ProcessId process, Interval interval) {
+  if (interval.down >= interval.up) {
+    throw std::invalid_argument("ChurnFailures: empty downtime interval");
+  }
+  auto& list = downtime_.at(process.value);
+  list.push_back(interval);
+  std::sort(list.begin(), list.end(),
+            [](const Interval& a, const Interval& b) { return a.down < b.down; });
+}
+
+ChurnFailures ChurnFailures::sample(std::size_t process_count, Round horizon,
+                                    std::size_t outages, Round outage_length,
+                                    util::Rng& rng) {
+  ChurnFailures model(process_count);
+  if (horizon == 0 || outage_length == 0) return model;
+  for (std::uint32_t p = 0; p < process_count; ++p) {
+    for (std::size_t k = 0; k < outages; ++k) {
+      const Round start = rng.below(horizon);
+      model.add_downtime(ProcessId{p},
+                         Interval{start, start + outage_length});
+    }
+  }
+  return model;
+}
+
+bool ChurnFailures::alive(ProcessId process, Round round) const {
+  for (const Interval& interval : downtime_.at(process.value)) {
+    if (round >= interval.down && round < interval.up) return false;
+    if (interval.down > round) break;  // sorted; no later interval matches
+  }
+  return true;
+}
+
+}  // namespace dam::sim

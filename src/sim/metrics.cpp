@@ -1,0 +1,49 @@
+#include "sim/metrics.hpp"
+
+namespace dam::sim {
+
+const GroupCounters Metrics::kZero{};
+
+const GroupCounters& Metrics::group(topics::TopicId topic) const {
+  auto it = per_group_.find(topic);
+  return it == per_group_.end() ? kZero : it->second;
+}
+
+void Metrics::note_infection(Round round) {
+  if (infections_per_round_.size() <= round) {
+    infections_per_round_.resize(round + 1, 0);
+  }
+  ++infections_per_round_[round];
+}
+
+std::uint64_t Metrics::total_event_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [topic, counters] : per_group_) {
+    total += counters.intra_sent + counters.inter_sent;
+  }
+  return total;
+}
+
+std::uint64_t Metrics::total_control_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& [topic, counters] : per_group_) {
+    total += counters.control_sent;
+  }
+  return total;
+}
+
+std::uint64_t Metrics::total_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& [topic, counters] : per_group_) {
+    total += counters.delivered;
+  }
+  return total;
+}
+
+void Metrics::reset() {
+  per_group_.clear();
+  parasite_deliveries_ = 0;
+  infections_per_round_.clear();
+}
+
+}  // namespace dam::sim

@@ -1,0 +1,59 @@
+// Simulation metrics.
+//
+// Counts exactly what the paper's figures report: events sent within each
+// group (Fig. 8), intergroup events crossing each boundary (Fig. 9), and
+// deliveries used to compute reliability (Figs. 10–11). Also tracks the
+// invariant counters the test suite asserts on (parasite deliveries,
+// duplicate forwards).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "topics/topic.hpp"
+
+namespace dam::sim {
+
+struct GroupCounters {
+  std::uint64_t intra_sent = 0;     ///< gossip events sent within the group
+  std::uint64_t inter_sent = 0;     ///< events sent from this group upward
+  std::uint64_t inter_received = 0; ///< events received from the group below
+  std::uint64_t delivered = 0;      ///< first-time deliveries to members
+  std::uint64_t duplicates = 0;     ///< repeated receptions (suppressed)
+  std::uint64_t control_sent = 0;   ///< membership/bootstrap/maintenance msgs
+};
+
+class Metrics {
+ public:
+  GroupCounters& group(topics::TopicId topic) { return per_group_[topic]; }
+  [[nodiscard]] const GroupCounters& group(topics::TopicId topic) const;
+
+  void count_parasite_delivery() noexcept { ++parasite_deliveries_; }
+  [[nodiscard]] std::uint64_t parasite_deliveries() const noexcept {
+    return parasite_deliveries_;
+  }
+
+  void note_infection(Round round);
+
+  /// Newly infected process counts per round (index = round).
+  [[nodiscard]] const std::vector<std::uint64_t>& infections_per_round()
+      const noexcept {
+    return infections_per_round_;
+  }
+
+  [[nodiscard]] std::uint64_t total_event_messages() const;
+  [[nodiscard]] std::uint64_t total_control_messages() const;
+  [[nodiscard]] std::uint64_t total_deliveries() const;
+
+  void reset();
+
+ private:
+  std::unordered_map<topics::TopicId, GroupCounters> per_group_;
+  std::uint64_t parasite_deliveries_ = 0;
+  std::vector<std::uint64_t> infections_per_round_;
+  static const GroupCounters kZero;
+};
+
+}  // namespace dam::sim

@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+namespace dam::sim {
+
+std::string_view to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kPublish:
+      return "publish";
+    case TraceKind::kEventSend:
+      return "event_send";
+    case TraceKind::kInterSend:
+      return "inter_send";
+    case TraceKind::kControlSend:
+      return "control_send";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kKindCount:
+      break;
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TraceEntry entry) {
+  ++totals_[static_cast<std::size_t>(entry.kind)];
+  ++total_recorded_;
+  if (capacity_ == 0) return;
+  entries_.push_back(entry);
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void TraceRecorder::to_csv(std::ostream& out) const {
+  out << "round,kind,from,to,topic,publisher,sequence\n";
+  for (const TraceEntry& entry : entries_) {
+    out << entry.round << ',' << to_string(entry.kind) << ','
+        << entry.from.value << ',' << entry.to.value << ','
+        << entry.topic.value << ',' << entry.publisher.value << ','
+        << entry.sequence << '\n';
+  }
+}
+
+void TraceRecorder::clear() {
+  entries_.clear();
+  totals_.fill(0);
+  total_recorded_ = 0;
+}
+
+}  // namespace dam::sim

@@ -1,0 +1,83 @@
+// Structured simulation tracing.
+//
+// Optional, bounded recording of protocol-level happenings (publish, send,
+// deliver) for debugging and for post-hoc analysis scripts. The recorder
+// is a ring buffer: at capacity, the oldest entries fall off; totals per
+// kind keep counting regardless, so aggregate statistics stay exact even
+// when the buffer wrapped. DamSystem hosts one when given via
+// `set_trace_recorder`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string_view>
+
+#include "sim/clock.hpp"
+#include "topics/subscriptions.hpp"
+#include "topics/topic.hpp"
+
+namespace dam::sim {
+
+enum class TraceKind : std::uint8_t {
+  kPublish = 0,
+  kEventSend,     ///< event message handed to the transport (intra)
+  kInterSend,     ///< event message handed to the transport (intergroup)
+  kControlSend,   ///< membership / bootstrap / maintenance / recovery
+  kDeliver,       ///< first-time application delivery
+  kKindCount,     // sentinel
+};
+
+[[nodiscard]] std::string_view to_string(TraceKind kind) noexcept;
+
+struct TraceEntry {
+  Round round = 0;
+  TraceKind kind = TraceKind::kPublish;
+  topics::ProcessId from{};
+  topics::ProcessId to{};
+  topics::TopicId topic{};
+  // Event identity, flattened to avoid a layering dependency on net/.
+  topics::ProcessId publisher{};
+  std::uint32_t sequence = 0;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  void record(TraceEntry entry);
+
+  [[nodiscard]] const std::deque<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Exact total per kind, unaffected by ring-buffer eviction.
+  [[nodiscard]] std::uint64_t total(TraceKind kind) const {
+    return totals_[static_cast<std::size_t>(kind)];
+  }
+
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_recorded_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Writes the buffered entries as CSV (round,kind,from,to,topic,
+  /// publisher,sequence).
+  void to_csv(std::ostream& out) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEntry> entries_;
+  std::array<std::uint64_t, static_cast<std::size_t>(TraceKind::kKindCount)>
+      totals_{};
+  std::uint64_t total_recorded_ = 0;
+};
+
+}  // namespace dam::sim

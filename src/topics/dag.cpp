@@ -1,0 +1,109 @@
+#include "topics/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace dam::topics {
+
+DagTopicId TopicDag::add_topic(std::string_view name) {
+  if (name.empty()) {
+    throw std::invalid_argument("TopicDag: empty topic name");
+  }
+  if (by_name_.contains(std::string(name))) {
+    throw std::invalid_argument("TopicDag: duplicate topic name '" +
+                                std::string(name) + "'");
+  }
+  const auto id = DagTopicId{static_cast<std::uint32_t>(names_.size())};
+  names_.emplace_back(name);
+  supers_.emplace_back();
+  subs_.emplace_back();
+  by_name_.emplace(std::string(name), id.value);
+  return id;
+}
+
+void TopicDag::add_super(DagTopicId child, DagTopicId parent) {
+  check_id(child);
+  check_id(parent);
+  if (child == parent) {
+    throw std::invalid_argument("TopicDag: self-loop");
+  }
+  auto& parents = supers_[child.value];
+  if (std::find(parents.begin(), parents.end(), parent) != parents.end()) {
+    throw std::invalid_argument("TopicDag: duplicate supertopic edge");
+  }
+  // Cycle check: the edge child -> parent is illegal iff child is already
+  // an ancestor of parent (i.e. child includes parent).
+  if (includes(child, parent)) {
+    throw std::invalid_argument("TopicDag: edge would create a cycle");
+  }
+  parents.push_back(parent);
+  subs_[parent.value].push_back(child);
+}
+
+std::optional<DagTopicId> TopicDag::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return DagTopicId{it->second};
+}
+
+bool TopicDag::includes(DagTopicId a, DagTopicId b) const {
+  check_id(a);
+  check_id(b);
+  if (a == b) return true;
+  // BFS upward from b.
+  std::vector<bool> seen(names_.size(), false);
+  std::deque<DagTopicId> frontier{b};
+  seen[b.value] = true;
+  while (!frontier.empty()) {
+    const DagTopicId current = frontier.front();
+    frontier.pop_front();
+    for (DagTopicId parent : supers_[current.value]) {
+      if (parent == a) return true;
+      if (!seen[parent.value]) {
+        seen[parent.value] = true;
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<DagTopicId> TopicDag::ancestors(DagTopicId id) const {
+  check_id(id);
+  std::vector<DagTopicId> closure;
+  std::vector<bool> seen(names_.size(), false);
+  std::deque<DagTopicId> frontier{id};
+  seen[id.value] = true;
+  while (!frontier.empty()) {
+    const DagTopicId current = frontier.front();
+    frontier.pop_front();
+    for (DagTopicId parent : supers_[current.value]) {
+      if (!seen[parent.value]) {
+        seen[parent.value] = true;
+        closure.push_back(parent);
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return closure;
+}
+
+std::vector<DagTopicId> TopicDag::all() const {
+  std::vector<DagTopicId> ids;
+  ids.reserve(names_.size());
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    ids.push_back(DagTopicId{i});
+  }
+  return ids;
+}
+
+std::size_t TopicDag::height(DagTopicId id) const {
+  check_id(id);
+  std::size_t best = 0;
+  for (DagTopicId parent : supers_[id.value]) {
+    best = std::max(best, 1 + height(parent));
+  }
+  return best;
+}
+
+}  // namespace dam::topics

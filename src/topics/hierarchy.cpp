@@ -1,0 +1,108 @@
+#include "topics/hierarchy.hpp"
+
+#include <algorithm>
+
+namespace dam::topics {
+
+TopicHierarchy::TopicHierarchy() {
+  nodes_.push_back(Node{TopicPath{}, kRootTopic, {}});
+  by_name_.emplace(".", 0u);
+}
+
+TopicId TopicHierarchy::add(const TopicPath& path) {
+  if (auto existing = find(path)) return *existing;
+  // Intern the parent first (recursively interns the whole ancestor chain).
+  const TopicId parent = path.is_root() ? kRootTopic : add(path.super());
+  const auto id = TopicId{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{path, parent, {}});
+  by_name_.emplace(path.str(), id.value);
+  if (id != kRootTopic) nodes_[parent.value].children.push_back(id);
+  return id;
+}
+
+TopicId TopicHierarchy::add(std::string_view text) {
+  auto parsed = TopicPath::parse(text);
+  if (!parsed) {
+    throw std::invalid_argument("TopicHierarchy::add: bad topic path '" +
+                                std::string(text) + "'");
+  }
+  return add(*parsed);
+}
+
+std::optional<TopicId> TopicHierarchy::find(const TopicPath& path) const {
+  return find(path.str());
+}
+
+std::optional<TopicId> TopicHierarchy::find(std::string_view text) const {
+  auto it = by_name_.find(std::string(text));
+  if (it == by_name_.end()) return std::nullopt;
+  return TopicId{it->second};
+}
+
+TopicId TopicHierarchy::super(TopicId id) const {
+  if (id == kRootTopic) {
+    throw std::logic_error("TopicHierarchy::super: root has no supertopic");
+  }
+  return nodes_.at(id.value).parent;
+}
+
+bool TopicHierarchy::includes(TopicId a, TopicId b) const {
+  // Walk b's ancestor chain; depths bound the walk.
+  const std::size_t target_depth = depth(a);
+  TopicId cursor = b;
+  while (depth(cursor) > target_depth) cursor = nodes_[cursor.value].parent;
+  return cursor == a;
+}
+
+std::vector<TopicId> TopicHierarchy::chain_to_root(TopicId id) const {
+  std::vector<TopicId> chain;
+  chain.reserve(depth(id) + 1);
+  TopicId cursor = id;
+  chain.push_back(cursor);
+  while (cursor != kRootTopic) {
+    cursor = nodes_.at(cursor.value).parent;
+    chain.push_back(cursor);
+  }
+  return chain;
+}
+
+TopicId TopicHierarchy::lowest_common_ancestor(TopicId a, TopicId b) const {
+  TopicId x = a;
+  TopicId y = b;
+  while (depth(x) > depth(y)) x = nodes_[x.value].parent;
+  while (depth(y) > depth(x)) y = nodes_[y.value].parent;
+  while (x != y) {
+    x = nodes_[x.value].parent;
+    y = nodes_[y.value].parent;
+  }
+  return x;
+}
+
+std::vector<TopicId> TopicHierarchy::all() const {
+  std::vector<TopicId> ids;
+  ids.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) ids.push_back(TopicId{i});
+  return ids;
+}
+
+std::size_t TopicHierarchy::max_depth() const {
+  std::size_t deepest = 0;
+  for (const auto& node : nodes_) deepest = std::max(deepest, node.path.depth());
+  return deepest;
+}
+
+std::vector<TopicId> make_linear_hierarchy(TopicHierarchy& hierarchy,
+                                           std::size_t levels_below_root,
+                                           std::string_view stem) {
+  std::vector<TopicId> levels;
+  levels.reserve(levels_below_root + 1);
+  levels.push_back(kRootTopic);
+  TopicPath path;
+  for (std::size_t i = 1; i <= levels_below_root; ++i) {
+    path = path.child(std::string(stem) + std::to_string(i));
+    levels.push_back(hierarchy.add(path));
+  }
+  return levels;
+}
+
+}  // namespace dam::topics

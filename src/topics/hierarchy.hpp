@@ -1,0 +1,94 @@
+// The interned topic hierarchy.
+//
+// Owns the mapping path <-> TopicId and answers the structural queries the
+// protocol needs: super(), includes(), depth, children, and the chain of
+// supertopics up to the root (used by FIND_SUPER_CONTACT's widening search).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "topics/topic.hpp"
+
+namespace dam::topics {
+
+class TopicHierarchy {
+ public:
+  /// Creates a hierarchy containing only the root topic ".".
+  TopicHierarchy();
+
+  /// Interns `path` and all its ancestors; returns the id. Idempotent.
+  TopicId add(const TopicPath& path);
+
+  /// Parses and interns. Throws std::invalid_argument on syntax errors.
+  TopicId add(std::string_view text);
+
+  /// Id of an already-interned path, or nullopt.
+  [[nodiscard]] std::optional<TopicId> find(const TopicPath& path) const;
+  [[nodiscard]] std::optional<TopicId> find(std::string_view text) const;
+
+  /// Number of interned topics (>= 1: the root always exists).
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] const TopicPath& path(TopicId id) const {
+    return nodes_.at(id.value).path;
+  }
+  [[nodiscard]] std::string name(TopicId id) const { return path(id).str(); }
+
+  /// Direct supertopic. Precondition: id != root (checked; throws).
+  [[nodiscard]] TopicId super(TopicId id) const;
+
+  /// Number of segments below the root (root: 0).
+  [[nodiscard]] std::size_t depth(TopicId id) const {
+    return nodes_.at(id.value).path.depth();
+  }
+
+  [[nodiscard]] bool is_root(TopicId id) const noexcept {
+    return id == kRootTopic;
+  }
+
+  /// True iff `a` includes `b` (a is b or an ancestor of b): every event of
+  /// topic `b` is also an event of topic `a`.
+  [[nodiscard]] bool includes(TopicId a, TopicId b) const;
+
+  /// Direct subtopics of `id`, in insertion order.
+  [[nodiscard]] const std::vector<TopicId>& children(TopicId id) const {
+    return nodes_.at(id.value).children;
+  }
+
+  /// id, super(id), super(super(id)), ..., root — the widening schedule of
+  /// the bootstrap task (Fig. 4, lines 19–27).
+  [[nodiscard]] std::vector<TopicId> chain_to_root(TopicId id) const;
+
+  /// Deepest topic that includes both `a` and `b`.
+  [[nodiscard]] TopicId lowest_common_ancestor(TopicId a, TopicId b) const;
+
+  /// All interned ids, root first, in insertion order.
+  [[nodiscard]] std::vector<TopicId> all() const;
+
+  /// Maximum depth over interned topics (the paper's `t`).
+  [[nodiscard]] std::size_t max_depth() const;
+
+ private:
+  struct Node {
+    TopicPath path;
+    TopicId parent{0};
+    std::vector<TopicId> children;
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+};
+
+/// Convenience: builds a linear hierarchy T0 ⊃ T1 ⊃ ... ⊃ T_depth under the
+/// root, returning ids indexed by level (index 0 = root). Matches the
+/// paper's simulation setting where each topic has exactly one subtopic.
+std::vector<TopicId> make_linear_hierarchy(TopicHierarchy& hierarchy,
+                                           std::size_t levels_below_root,
+                                           std::string_view stem = "t");
+
+}  // namespace dam::topics

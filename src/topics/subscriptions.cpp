@@ -1,0 +1,61 @@
+#include "topics/subscriptions.hpp"
+
+#include <algorithm>
+
+namespace dam::topics {
+
+const std::vector<ProcessId> SubscriptionRegistry::kEmptyGroup{};
+
+ProcessId SubscriptionRegistry::add_process(TopicId topic) {
+  if (topic.value >= hierarchy_->size()) {
+    throw std::out_of_range("SubscriptionRegistry: unknown topic id");
+  }
+  const auto id = ProcessId{static_cast<std::uint32_t>(interest_.size())};
+  interest_.push_back(topic);
+  groups_[topic].push_back(id);
+  return id;
+}
+
+void SubscriptionRegistry::resubscribe(ProcessId process, TopicId topic) {
+  if (topic.value >= hierarchy_->size()) {
+    throw std::out_of_range("SubscriptionRegistry: unknown topic id");
+  }
+  const TopicId old_topic = interest_.at(process.value);
+  if (old_topic == topic) return;
+  auto& old_group = groups_[old_topic];
+  old_group.erase(std::remove(old_group.begin(), old_group.end(), process),
+                  old_group.end());
+  interest_[process.value] = topic;
+  groups_[topic].push_back(process);
+}
+
+const std::vector<ProcessId>& SubscriptionRegistry::group(TopicId topic) const {
+  auto it = groups_.find(topic);
+  return it == groups_.end() ? kEmptyGroup : it->second;
+}
+
+std::vector<ProcessId> SubscriptionRegistry::interested_set(
+    TopicId topic) const {
+  std::vector<ProcessId> result;
+  // A process with interest Tj is interested in events of `topic` iff Tj
+  // includes `topic`, i.e. Tj is on topic's chain to the root.
+  for (TopicId ancestor : hierarchy_->chain_to_root(topic)) {
+    const auto& members = group(ancestor);
+    result.insert(result.end(), members.begin(), members.end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::optional<TopicId> SubscriptionRegistry::nearest_nonempty_supergroup(
+    TopicId topic) const {
+  if (hierarchy_->is_root(topic)) return std::nullopt;
+  TopicId cursor = topic;
+  while (!hierarchy_->is_root(cursor)) {
+    cursor = hierarchy_->super(cursor);
+    if (!group(cursor).empty()) return cursor;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dam::topics

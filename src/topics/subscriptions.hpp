@@ -1,0 +1,90 @@
+// Process-to-topic interest registry.
+//
+// The paper assumes (Sec. III-A) each process is interested in exactly one
+// topic Ti — and consequently in all subtopics of Ti. This registry records
+// that assignment and answers the group queries used everywhere else:
+// Π_Ti (the group of processes interested in Ti) and S_Ti = |Π_Ti|.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "topics/hierarchy.hpp"
+
+namespace dam::topics {
+
+/// Dense process identifier; processes are created 0..n-1 by the harness.
+struct ProcessId {
+  std::uint32_t value = 0;
+
+  friend auto operator<=>(const ProcessId&, const ProcessId&) = default;
+};
+
+class SubscriptionRegistry {
+ public:
+  explicit SubscriptionRegistry(const TopicHierarchy& hierarchy)
+      : hierarchy_(&hierarchy) {}
+
+  /// Registers a new process interested in `topic`; returns its id.
+  ProcessId add_process(TopicId topic);
+
+  /// Re-registers an existing process under a new topic (unsubscribing from
+  /// the old one). Used by churn scenarios.
+  void resubscribe(ProcessId process, TopicId topic);
+
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return interest_.size();
+  }
+
+  /// The single topic `process` is interested in.
+  [[nodiscard]] TopicId topic_of(ProcessId process) const {
+    return interest_.at(process.value);
+  }
+
+  /// Π_Ti: processes whose topic of interest is exactly `topic`.
+  [[nodiscard]] const std::vector<ProcessId>& group(TopicId topic) const;
+
+  /// S_Ti = |Π_Ti|.
+  [[nodiscard]] std::size_t group_size(TopicId topic) const {
+    return group(topic).size();
+  }
+
+  /// True iff `process` is interested in events of `topic`: its topic of
+  /// interest includes `topic` (equals it or is a supertopic). Receiving
+  /// such an event is never parasitic.
+  [[nodiscard]] bool interested_in(ProcessId process, TopicId topic) const {
+    return hierarchy_->includes(topic_of(process), topic);
+  }
+
+  /// All processes interested in events of `topic` (members of Π_Tj for any
+  /// Tj that includes `topic`) — the reliability denominator.
+  [[nodiscard]] std::vector<ProcessId> interested_set(TopicId topic) const;
+
+  /// Nearest non-empty supergroup of `topic`: walks super(topic),
+  /// super(super(topic)), ... and returns the first topic with a non-empty
+  /// group, or nullopt if all (including root) are empty. This is the group
+  /// the supertopic table should point at (Sec. III-B, footnote 4).
+  [[nodiscard]] std::optional<TopicId> nearest_nonempty_supergroup(
+      TopicId topic) const;
+
+  [[nodiscard]] const TopicHierarchy& hierarchy() const noexcept {
+    return *hierarchy_;
+  }
+
+ private:
+  const TopicHierarchy* hierarchy_;
+  std::vector<TopicId> interest_;  // indexed by ProcessId
+  std::unordered_map<TopicId, std::vector<ProcessId>> groups_;
+  static const std::vector<ProcessId> kEmptyGroup;
+};
+
+}  // namespace dam::topics
+
+template <>
+struct std::hash<dam::topics::ProcessId> {
+  std::size_t operator()(const dam::topics::ProcessId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,163 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+namespace dam::util {
+
+void ArgParser::add_flag(std::string_view name, std::string_view help) {
+  for (const auto& [existing, spec] : specs_) {
+    if (existing == name) throw ArgError("duplicate option --" + std::string(name));
+  }
+  Spec spec;
+  spec.is_flag = true;
+  spec.help = std::string(help);
+  specs_.emplace_back(std::string(name), std::move(spec));
+}
+
+void ArgParser::add_option(std::string_view name,
+                           std::string_view default_value,
+                           std::string_view help) {
+  for (const auto& [existing, spec] : specs_) {
+    if (existing == name) throw ArgError("duplicate option --" + std::string(name));
+  }
+  Spec spec;
+  spec.is_flag = false;
+  spec.default_value = std::string(default_value);
+  spec.help = std::string(help);
+  specs_.emplace_back(std::string(name), std::move(spec));
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  bool options_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (options_done || arg.empty() || arg[0] != '-' || arg == "-") {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      options_done = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      throw ArgError("unknown argument '" + std::string(arg) +
+                     "' (only --long options are supported)");
+    }
+    std::string_view body = arg.substr(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = body.find('='); eq != std::string_view::npos) {
+      name = std::string(body.substr(0, eq));
+      inline_value = std::string(body.substr(eq + 1));
+    } else {
+      name = std::string(body);
+    }
+    const Spec& spec = spec_of(name);
+    if (spec.is_flag) {
+      if (inline_value) {
+        throw ArgError("flag --" + name + " takes no value");
+      }
+      flags_[name] = true;
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        throw ArgError("option --" + name + " needs a value");
+      }
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::flag(std::string_view name) const {
+  const Spec& spec = spec_of(std::string(name));
+  if (!spec.is_flag) {
+    throw ArgError("--" + std::string(name) + " is not a flag");
+  }
+  auto it = flags_.find(std::string(name));
+  return it != flags_.end() && it->second;
+}
+
+std::string ArgParser::str(std::string_view name) const {
+  const Spec& spec = spec_of(std::string(name));
+  if (spec.is_flag) {
+    throw ArgError("--" + std::string(name) + " is a flag, not an option");
+  }
+  auto it = values_.find(std::string(name));
+  return it != values_.end() ? it->second : spec.default_value;
+}
+
+std::int64_t ArgParser::integer(std::string_view name) const {
+  const std::string text = str(name);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw ArgError("option --" + std::string(name) + ": '" + text +
+                   "' is not an integer");
+  }
+  return value;
+}
+
+double ArgParser::real(std::string_view name) const {
+  const std::string text = str(name);
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ArgError("option --" + std::string(name) + ": '" + text +
+                   "' is not a number");
+  }
+}
+
+std::vector<std::size_t> ArgParser::size_list(std::string_view name) const {
+  const std::string text = str(name);
+  std::vector<std::size_t> values;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    std::size_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      throw ArgError("option --" + std::string(name) + ": bad list entry '" +
+                     token + "'");
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    throw ArgError("option --" + std::string(name) + ": empty list");
+  }
+  return values;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream out;
+  out << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name;
+    if (!spec.is_flag) out << "=<" << spec.default_value << ">";
+    out << "\n      " << spec.help << "\n";
+  }
+  out << "  --help\n      show this text\n";
+  return out.str();
+}
+
+const ArgParser::Spec& ArgParser::spec_of(std::string_view name) const {
+  for (const auto& [existing, spec] : specs_) {
+    if (existing == name) return spec;
+  }
+  throw ArgError("unknown option --" + std::string(name));
+}
+
+}  // namespace dam::util

@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace dam::util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out_ = &file_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string quoted;
+  quoted.reserve(cell.size() + 2);
+  quoted.push_back('"');
+  for (char c : cell) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void ConsoleTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << "| " << std::left << std::setw(static_cast<int>(widths[i])) << cell
+          << ' ';
+    }
+    out << "|\n";
+  };
+  emit(columns_);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    out << "|" << std::string(widths[i] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace dam::util

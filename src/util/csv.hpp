@@ -1,0 +1,104 @@
+// Tabular output: CSV files for plotting and aligned console tables for the
+// benchmark binaries (each bench prints the same rows/series the paper's
+// figure or table reports).
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dam::util {
+
+/// Minimal RFC-4180 CSV writer. Values containing commas, quotes or
+/// newlines are quoted; everything else is written verbatim.
+class CsvWriter {
+ public:
+  /// Writes to an owned file. Throws std::runtime_error if it cannot open.
+  explicit CsvWriter(const std::string& path);
+  /// Writes to a caller-owned stream (used by tests).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& columns) { row_strings(columns); }
+
+  /// Heterogeneous row: any streamable types.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    row_strings(cells);
+  }
+
+  void row_strings(const std::vector<std::string>& cells);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(value));
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  static std::string escape(std::string_view cell);
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Fixed-width console table. Collects rows, then renders with columns
+/// sized to their widest cell — the benches use this to print paper-style
+/// result tables.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(cell_of(values)), ...);
+    rows_.push_back(std::move(cells));
+  }
+
+  void row_strings(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders header, separator, and all rows to `out`.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string cell_of(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(value));
+    } else {
+      std::ostringstream os;
+      os << value;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant fraction digits (helper used
+/// by the bench binaries for consistent output).
+std::string fixed(double value, int digits = 3);
+
+}  // namespace dam::util

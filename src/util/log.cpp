@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace dam::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view message) {
+    std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view message) {
+      std::fprintf(stderr, "[%s] %.*s\n", to_string(level).data(),
+                   static_cast<int>(message.size()), message.data());
+    };
+  }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace dam::util

@@ -1,0 +1,73 @@
+// Lightweight leveled logging. Off by default (simulations are silent and
+// fast); examples turn it on to narrate protocol behaviour. The sink is a
+// plain function so tests can capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dam::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-global logging configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  /// Replaces the sink (default: stderr). Pass nullptr to restore default.
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+namespace detail {
+template <typename... Ts>
+void log_impl(LogLevel level, const Ts&... parts) {
+  auto& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  logger.write(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_trace(const Ts&... parts) {
+  detail::log_impl(LogLevel::kTrace, parts...);
+}
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  detail::log_impl(LogLevel::kDebug, parts...);
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  detail::log_impl(LogLevel::kInfo, parts...);
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  detail::log_impl(LogLevel::kWarn, parts...);
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  detail::log_impl(LogLevel::kError, parts...);
+}
+
+}  // namespace dam::util

@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace dam::util {
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const noexcept {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Samples::min() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::quantile(double q) const {
+  assert(!values_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+namespace {
+// Wilson score bound; z = 1.96 for 95%.
+double wilson(double p, double n, bool upper) {
+  if (n <= 0) return upper ? 1.0 : 0.0;
+  constexpr double z = 1.96;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  const double bound = (center + (upper ? margin : -margin)) / denom;
+  return std::clamp(bound, 0.0, 1.0);
+}
+}  // namespace
+
+double Proportion::wilson_low() const noexcept {
+  return wilson(estimate(), static_cast<double>(trials), /*upper=*/false);
+}
+
+double Proportion::wilson_high() const noexcept {
+  return wilson(estimate(), static_cast<double>(trials), /*upper=*/true);
+}
+
+}  // namespace dam::util

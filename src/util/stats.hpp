@@ -1,0 +1,124 @@
+// Streaming statistics used by the benchmark harness and the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dam::util {
+
+/// Single-pass accumulator (Welford) for count / mean / variance / min / max.
+/// Numerically stable; merging two accumulators is supported so per-thread
+/// or per-run results can be combined.
+class Accumulator {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Chan et al. parallel-merge of two Welford states.
+  void merge(const Accumulator& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    mean_ += delta * nb / nab;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Population variance (n divisor); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Sample variance (n-1 divisor); 0 for fewer than two samples.
+  [[nodiscard]] double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean. Zero for fewer than two samples.
+  [[nodiscard]] double ci95_halfwidth() const noexcept {
+    if (n_ < 2) return 0.0;
+    return 1.96 * std::sqrt(sample_variance() / static_cast<double>(n_));
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Buffered sample set supporting exact quantiles. Used where the benches
+/// need medians/percentiles rather than just means.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Exact quantile by linear interpolation between order statistics.
+  /// Precondition: !empty(), 0 <= q <= 1.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Wilson score interval for a Bernoulli proportion — used for the
+/// reliability experiments (success = "all alive subscribers delivered").
+struct Proportion {
+  std::size_t successes = 0;
+  std::size_t trials = 0;
+
+  void add(bool success) noexcept {
+    ++trials;
+    if (success) ++successes;
+  }
+
+  [[nodiscard]] double estimate() const noexcept {
+    return trials ? static_cast<double>(successes) / static_cast<double>(trials)
+                  : 0.0;
+  }
+
+  [[nodiscard]] double wilson_low() const noexcept;
+  [[nodiscard]] double wilson_high() const noexcept;
+};
+
+}  // namespace dam::util

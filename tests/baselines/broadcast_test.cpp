@@ -1,0 +1,64 @@
+#include "baselines/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dam::baselines {
+namespace {
+
+TEST(Broadcast, PublishAtBottomInterestsEveryone) {
+  Scenario scenario;  // publish_level = 2, linear chain: all interested
+  scenario.params.psucc = 1.0;
+  scenario.seed = 1;
+  const auto result = run_broadcast(scenario);
+  EXPECT_EQ(result.interested_alive, 1110u);
+  EXPECT_EQ(result.parasite_deliveries, 0u);
+  EXPECT_TRUE(result.all_interested_delivered);
+}
+
+TEST(Broadcast, PublishAtMidLevelCreatesParasites) {
+  Scenario scenario;
+  scenario.publish_level = 1;  // T1 event: the 1000 T2 subscribers are
+                               // uninterested but still get it
+  scenario.params.psucc = 1.0;
+  scenario.seed = 2;
+  const auto result = run_broadcast(scenario);
+  EXPECT_EQ(result.interested_alive, 110u);
+  EXPECT_GT(result.parasite_deliveries, 900u);  // ~1000 parasite deliveries
+}
+
+TEST(Broadcast, PublishAtRootFloodsAllSubscribers) {
+  Scenario scenario;
+  scenario.publish_level = 0;
+  scenario.params.psucc = 1.0;
+  scenario.seed = 3;
+  const auto result = run_broadcast(scenario);
+  EXPECT_EQ(result.interested_alive, 10u);
+  EXPECT_GT(result.parasite_deliveries, 1000u);
+}
+
+TEST(Broadcast, MessageComplexityIsNLnN) {
+  Scenario scenario;
+  scenario.seed = 4;
+  const auto result = run_broadcast(scenario);
+  // n=1110: fanout ceil(ln 1110 + 5) = 13; ~14.4k messages.
+  const double expected = 1110.0 * 13.0;
+  EXPECT_NEAR(static_cast<double>(result.messages_sent), expected,
+              expected * 0.1);
+}
+
+TEST(Broadcast, MemoryFormula) {
+  EXPECT_NEAR(broadcast_memory_per_process(1110, 5.0),
+              std::log(1110.0) + 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(broadcast_memory_per_process(1, 5.0), 5.0);
+}
+
+TEST(Broadcast, RejectsBadPublishLevel) {
+  Scenario scenario;
+  scenario.publish_level = 9;
+  EXPECT_THROW(run_broadcast(scenario), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dam::baselines

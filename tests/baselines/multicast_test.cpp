@@ -1,0 +1,79 @@
+#include "baselines/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dam::baselines {
+namespace {
+
+TEST(Multicast, NeverProducesParasites) {
+  for (std::size_t level = 0; level <= 2; ++level) {
+    Scenario scenario;
+    scenario.publish_level = level;
+    scenario.seed = level + 1;
+    const auto result = run_multicast(scenario);
+    EXPECT_EQ(result.parasite_deliveries, 0u) << "level " << level;
+  }
+}
+
+TEST(Multicast, GroupContainsSupertopicSubscribers) {
+  Scenario scenario;
+  scenario.publish_level = 2;
+  scenario.params.psucc = 1.0;
+  scenario.seed = 2;
+  const auto result = run_multicast(scenario);
+  // Group T2 = 1000 + 100 + 10 members; all interested.
+  EXPECT_EQ(result.interested_alive, 1110u);
+  EXPECT_TRUE(result.all_interested_delivered);
+}
+
+TEST(Multicast, RootEventStaysInRootGroup) {
+  Scenario scenario;
+  scenario.publish_level = 0;
+  scenario.params.psucc = 1.0;
+  scenario.seed = 3;
+  const auto result = run_multicast(scenario);
+  EXPECT_EQ(result.interested_alive, 10u);
+  EXPECT_TRUE(result.all_interested_delivered);
+  // Message count stays proportional to the small group, not the system.
+  EXPECT_LT(result.messages_sent, 200u);
+}
+
+TEST(Multicast, MessageComplexityMatchesGroupSize) {
+  Scenario scenario;
+  scenario.publish_level = 2;
+  scenario.seed = 4;
+  const auto result = run_multicast(scenario);
+  const double expected = 1110.0 * 13.0;  // ceil(ln 1110 + 5) = 13
+  EXPECT_NEAR(static_cast<double>(result.messages_sent), expected,
+              expected * 0.1);
+}
+
+TEST(Multicast, MemoryGrowsWithTableCount) {
+  const std::vector<std::size_t> sizes{10, 100, 1000};
+  // Bottom-level subscriber: one table (its own group, cumulative 1110).
+  const double bottom = multicast_memory_per_process(sizes, 2, 5.0);
+  EXPECT_NEAR(bottom, std::log(1110.0) + 5.0, 1e-9);
+  // Root subscriber: three tables (sizes 10, 110, 1110).
+  const double root = multicast_memory_per_process(sizes, 0, 5.0);
+  EXPECT_NEAR(root,
+              (std::log(10.0) + 5.0) + (std::log(110.0) + 5.0) +
+                  (std::log(1110.0) + 5.0),
+              1e-9);
+  EXPECT_GT(root, bottom);
+}
+
+TEST(Multicast, MemoryRejectsBadLevel) {
+  EXPECT_THROW(multicast_memory_per_process({10, 100}, 5, 5.0),
+               std::invalid_argument);
+}
+
+TEST(Multicast, RejectsBadPublishLevel) {
+  Scenario scenario;
+  scenario.publish_level = 9;
+  EXPECT_THROW(run_multicast(scenario), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dam::baselines

@@ -1,0 +1,201 @@
+#include "core/dag_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace dam::core {
+namespace {
+
+using topics::DagTopicId;
+using topics::TopicDag;
+
+struct Diamond {
+  TopicDag dag;
+  DagTopicId a, m1, m2, b;
+
+  Diamond() {
+    a = dag.add_topic("A");
+    m1 = dag.add_topic("M1");
+    m2 = dag.add_topic("M2");
+    b = dag.add_topic("B");
+    dag.add_super(m1, a);
+    dag.add_super(m2, a);
+    dag.add_super(b, m1);
+    dag.add_super(b, m2);
+  }
+
+  DagSimConfig config(std::uint64_t seed) const {
+    DagSimConfig cfg;
+    cfg.dag = &dag;
+    cfg.group_sizes = {10, 40, 40, 200};  // a, m1, m2, b
+    cfg.publish_topic = b;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+TEST(DagSim, HealthyDiamondDeliversToAllAncestors) {
+  Diamond d;
+  auto config = d.config(1);
+  config.params.psucc = 1.0;
+  const auto result = run_dag_simulation(config);
+  EXPECT_EQ(result.groups[d.b.value].delivered, 200u);
+  EXPECT_GT(result.groups[d.m1.value].delivered, 0u);
+  EXPECT_GT(result.groups[d.m2.value].delivered, 0u);
+  EXPECT_GT(result.groups[d.a.value].delivered, 0u);
+}
+
+TEST(DagSim, EventNeverFlowsDownOrSideways) {
+  // Publish in M1: B (subtopic) and M2 (sibling) must stay clean.
+  Diamond d;
+  auto config = d.config(2);
+  config.publish_topic = d.m1;
+  config.params.psucc = 1.0;
+  const auto result = run_dag_simulation(config);
+  EXPECT_EQ(result.groups[d.b.value].delivered, 0u);
+  EXPECT_EQ(result.groups[d.m2.value].delivered, 0u);
+  EXPECT_GT(result.groups[d.m1.value].delivered, 0u);
+  EXPECT_GT(result.groups[d.a.value].delivered, 0u);
+  EXPECT_TRUE(result.groups[d.b.value].all_alive_delivered);  // = clean
+}
+
+TEST(DagSim, BothParentLegsCarryTraffic) {
+  // With psel forced to 1, B members send along BOTH supertopic tables.
+  Diamond d;
+  auto config = d.config(3);
+  config.params.g = 10000.0;  // psel = 1
+  config.params.a = 3.0;      // pa = 1
+  config.params.psucc = 1.0;
+  const auto result = run_dag_simulation(config);
+  EXPECT_GT(result.groups[d.m1.value].inter_received, 0u);
+  EXPECT_GT(result.groups[d.m2.value].inter_received, 0u);
+}
+
+TEST(DagSim, DuplicatesSuppressedAtTheJoin) {
+  // The top group receives the event along two paths; each process must
+  // still deliver exactly once (delivered <= alive).
+  Diamond d;
+  auto config = d.config(4);
+  config.params.g = 10000.0;
+  config.params.a = 3.0;
+  config.params.psucc = 1.0;
+  const auto result = run_dag_simulation(config);
+  EXPECT_LE(result.groups[d.a.value].delivered,
+            result.groups[d.a.value].alive);
+  // Redundant arrivals exist and were counted as duplicates, not
+  // deliveries.
+  EXPECT_GT(result.groups[d.a.value].duplicate_deliveries +
+                result.groups[d.m1.value].duplicate_deliveries +
+                result.groups[d.m2.value].duplicate_deliveries,
+            0u);
+}
+
+TEST(DagSim, DiamondBeatsSingleParentPathReliability) {
+  // At low psucc, two independent upward paths reach the top more often
+  // than one. Compare the diamond against a chain with ONE mid group of
+  // the same total mid population.
+  TopicDag chain;
+  const auto ca = chain.add_topic("A");
+  const auto cm = chain.add_topic("M");
+  const auto cb = chain.add_topic("B");
+  chain.add_super(cm, ca);
+  chain.add_super(cb, cm);
+
+  Diamond d;
+  constexpr int kRuns = 200;
+  util::Proportion chain_top;
+  util::Proportion diamond_top;
+  for (int run = 0; run < kRuns; ++run) {
+    TopicParams params;
+    params.psucc = 0.35;
+    params.g = 2.0;
+
+    DagSimConfig chain_config;
+    chain_config.dag = &chain;
+    chain_config.group_sizes = {10, 80, 200};
+    chain_config.publish_topic = cb;
+    chain_config.params = params;
+    chain_config.seed = 9000 + static_cast<std::uint64_t>(run);
+    chain_top.add(
+        run_dag_simulation(chain_config).groups[ca.value].delivered > 0);
+
+    auto diamond_config = d.config(9000 + static_cast<std::uint64_t>(run));
+    diamond_config.params = params;
+    diamond_config.group_sizes = {10, 40, 40, 200};
+    diamond_top.add(
+        run_dag_simulation(diamond_config).groups[d.a.value].delivered > 0);
+  }
+  EXPECT_GT(diamond_top.estimate(), chain_top.estimate());
+}
+
+TEST(DagSim, MemoryFormulaCountsOneTablePerParent) {
+  Diamond d;
+  TopicParams params;
+  const double b_memory =
+      DagRunResult::memory_per_process(d.dag, d.b, params, 200);
+  const double m1_memory =
+      DagRunResult::memory_per_process(d.dag, d.m1, params, 40);
+  // B has two parents -> 2z; M1 has one -> z.
+  EXPECT_NEAR(b_memory - (std::log(200.0) + params.c), 6.0, 1e-9);
+  EXPECT_NEAR(m1_memory - (std::log(40.0) + params.c), 3.0, 1e-9);
+  // Root: no supertopic tables at all.
+  EXPECT_NEAR(DagRunResult::memory_per_process(d.dag, d.a, params, 10),
+              std::log(10.0) + params.c, 1e-9);
+}
+
+TEST(DagSim, SingleTopicDegenerate) {
+  TopicDag dag;
+  const auto only = dag.add_topic("only");
+  DagSimConfig config;
+  config.dag = &dag;
+  config.group_sizes = {300};
+  config.publish_topic = only;
+  config.params.psucc = 1.0;
+  config.seed = 5;
+  const auto result = run_dag_simulation(config);
+  EXPECT_EQ(result.groups[0].delivered, 300u);
+  EXPECT_EQ(result.groups[0].inter_sent, 0u);
+}
+
+TEST(DagSim, RejectsBadConfigs) {
+  Diamond d;
+  DagSimConfig no_dag;
+  EXPECT_THROW(run_dag_simulation(no_dag), std::invalid_argument);
+
+  auto wrong_sizes = d.config(1);
+  wrong_sizes.group_sizes = {10, 10};
+  EXPECT_THROW(run_dag_simulation(wrong_sizes), std::invalid_argument);
+
+  auto empty_group = d.config(1);
+  empty_group.group_sizes = {10, 0, 40, 200};
+  EXPECT_THROW(run_dag_simulation(empty_group), std::invalid_argument);
+
+  auto bad_topic = d.config(1);
+  bad_topic.publish_topic = DagTopicId{99};
+  EXPECT_THROW(run_dag_simulation(bad_topic), std::invalid_argument);
+}
+
+TEST(DagSim, DeterministicForSeed) {
+  Diamond d;
+  const auto x = run_dag_simulation(d.config(42));
+  const auto y = run_dag_simulation(d.config(42));
+  EXPECT_EQ(x.total_messages, y.total_messages);
+  for (std::size_t i = 0; i < x.groups.size(); ++i) {
+    EXPECT_EQ(x.groups[i].delivered, y.groups[i].delivered);
+  }
+}
+
+TEST(DagSim, StillbornFailuresApply) {
+  Diamond d;
+  auto config = d.config(7);
+  config.alive_fraction = 0.5;
+  const auto result = run_dag_simulation(config);
+  EXPECT_NEAR(static_cast<double>(result.groups[d.b.value].alive), 100.0,
+              25.0);
+  EXPECT_LE(result.groups[d.b.value].delivered,
+            result.groups[d.b.value].alive);
+}
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,127 @@
+#include "core/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topics/hierarchy.hpp"
+
+namespace dam::core {
+namespace {
+
+class EndpointTest : public ::testing::Test {
+ protected:
+  EndpointTest() {
+    eu_ = hierarchy_.add(".news.eu");
+    us_ = hierarchy_.add(".news.us");
+    news_ = *hierarchy_.find(".news");
+    weather_ = hierarchy_.add(".weather");
+    DamSystem::Config config;
+    config.seed = 5;
+    config.auto_wire_super_tables = true;
+    config.node.params.psucc = 1.0;
+    system_ = std::make_unique<DamSystem>(hierarchy_, config);
+    manager_ = std::make_unique<EndpointManager>(*system_);
+  }
+
+  topics::TopicHierarchy hierarchy_;
+  topics::TopicId eu_{}, us_{}, news_{}, weather_{};
+  std::unique_ptr<DamSystem> system_;
+  std::unique_ptr<EndpointManager> manager_;
+};
+
+TEST_F(EndpointTest, MultiInterestReceivesBothTopics) {
+  int callbacks = 0;
+  const auto endpoint = manager_->create_endpoint(
+      [&](EndpointId, const Message&) { ++callbacks; });
+  manager_->add_interest(endpoint, eu_);
+  manager_->add_interest(endpoint, weather_);
+  // Populate both groups with other subscribers to gossip with.
+  const auto eu_peers = system_->spawn_group(eu_, 8);
+  const auto weather_peers = system_->spawn_group(weather_, 8);
+  system_->run_rounds(3);
+
+  const auto eu_event = system_->publish(eu_peers[0]);
+  const auto weather_event = system_->publish(weather_peers[0]);
+  system_->run_rounds(25);
+
+  EXPECT_TRUE(manager_->has_received(endpoint, eu_event));
+  EXPECT_TRUE(manager_->has_received(endpoint, weather_event));
+  EXPECT_EQ(manager_->unique_deliveries(endpoint), 2u);
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST_F(EndpointTest, OverlappingInterestsDeliverOnce) {
+  // Subscribing to .news AND .news.eu: a .news.eu event reaches both
+  // protocol processes, but the endpoint hears it exactly once.
+  int callbacks = 0;
+  const auto endpoint = manager_->create_endpoint(
+      [&](EndpointId, const Message&) { ++callbacks; });
+  manager_->add_interest(endpoint, news_);
+  manager_->add_interest(endpoint, eu_);
+  system_->spawn_group(news_, 8);
+  const auto eu_peers = system_->spawn_group(eu_, 8);
+  system_->run_rounds(3);
+
+  system_->publish(eu_peers[0]);
+  system_->run_rounds(25);
+
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(manager_->unique_deliveries(endpoint), 1u);
+  EXPECT_GE(manager_->cross_interest_duplicates(endpoint), 1u);
+}
+
+TEST_F(EndpointTest, UnrelatedTopicsStayOut) {
+  const auto endpoint = manager_->create_endpoint();
+  manager_->add_interest(endpoint, eu_);
+  const auto us_peers = system_->spawn_group(us_, 8);
+  system_->spawn_group(eu_, 4);
+  system_->run_rounds(3);
+  const auto us_event = system_->publish(us_peers[0]);
+  system_->run_rounds(25);
+  EXPECT_FALSE(manager_->has_received(endpoint, us_event));
+  EXPECT_EQ(manager_->unique_deliveries(endpoint), 0u);
+}
+
+TEST_F(EndpointTest, RedundantInterestsDetected) {
+  const auto endpoint = manager_->create_endpoint();
+  manager_->add_interest(endpoint, news_);
+  manager_->add_interest(endpoint, eu_);       // redundant: news ⊃ eu
+  manager_->add_interest(endpoint, weather_);  // independent
+  const auto redundant = manager_->redundant_interests(endpoint);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0], eu_);
+}
+
+TEST_F(EndpointTest, ProcessesTrackedPerEndpoint) {
+  const auto first = manager_->create_endpoint();
+  const auto second = manager_->create_endpoint();
+  const auto p1 = manager_->add_interest(first, eu_);
+  const auto p2 = manager_->add_interest(first, us_);
+  const auto p3 = manager_->add_interest(second, eu_);
+  ASSERT_EQ(manager_->processes(first).size(), 2u);
+  EXPECT_EQ(manager_->processes(first)[0], p1);
+  EXPECT_EQ(manager_->processes(first)[1], p2);
+  ASSERT_EQ(manager_->processes(second).size(), 1u);
+  EXPECT_EQ(manager_->processes(second)[0], p3);
+}
+
+TEST_F(EndpointTest, UnknownEndpointThrows) {
+  EXPECT_THROW((void)manager_->processes(EndpointId{7}), std::out_of_range);
+  EXPECT_THROW(manager_->add_interest(EndpointId{7}, eu_),
+               std::out_of_range);
+}
+
+TEST_F(EndpointTest, UnmanagedProcessesUnaffected) {
+  // Plain spawns (outside the manager) deliver normally without touching
+  // endpoint state.
+  const auto endpoint = manager_->create_endpoint();
+  manager_->add_interest(endpoint, weather_);
+  const auto loose = system_->spawn_group(eu_, 6);
+  system_->run_rounds(3);
+  const auto event = system_->publish(loose[0]);
+  system_->run_rounds(20);
+  EXPECT_GT(system_->delivered_set(event).size(), 1u);
+  EXPECT_EQ(manager_->unique_deliveries(endpoint), 0u);
+}
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,134 @@
+#include "core/pubsub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dam::core {
+namespace {
+
+PubSub::Config lossless_config(std::uint64_t seed) {
+  PubSub::Config config;
+  config.system.seed = seed;
+  config.system.auto_wire_super_tables = true;
+  config.system.node.params.psucc = 1.0;
+  return config;
+}
+
+TEST(PubSub, CallbackReceivesTopicAndPayload) {
+  PubSub bus(lossless_config(1));
+  std::vector<Delivery> deliveries;
+  bus.subscribe(".news");
+  bus.subscribe(".news");
+  const auto listener = bus.subscribe(
+      ".news.eu", [&](const Delivery& d) { deliveries.push_back(d); });
+  const auto speaker = bus.subscribe(".news.eu");
+  bus.pump(5);
+  bus.publish(speaker, "bonjour");
+  bus.pump(20);
+  ASSERT_FALSE(deliveries.empty());
+  EXPECT_EQ(deliveries[0].subscriber, listener);
+  EXPECT_EQ(deliveries[0].topic, ".news.eu");
+  EXPECT_EQ(deliveries[0].text(), "bonjour");
+}
+
+TEST(PubSub, PublisherCallbackFiresOnOwnEvent) {
+  PubSub bus(lossless_config(2));
+  int self_deliveries = 0;
+  const auto self = bus.subscribe(
+      ".a", [&](const Delivery&) { ++self_deliveries; });
+  bus.subscribe(".a");
+  bus.pump(3);
+  bus.publish(self, "hello me");
+  EXPECT_EQ(self_deliveries, 1);  // local delivery is immediate
+}
+
+TEST(PubSub, SupertopicSubscribersHearSubtopics) {
+  PubSub bus(lossless_config(3));
+  std::vector<std::string> heard;
+  bus.subscribe(".shop",
+                [&](const Delivery& d) { heard.push_back(d.topic); });
+  bus.subscribe(".shop");
+  bus.subscribe(".shop");
+  const auto toys = bus.subscribe(".shop.toys");
+  bus.subscribe(".shop.toys");
+  bus.pump(5);
+  bus.publish(toys, "sale");
+  bus.pump(20);
+  ASSERT_FALSE(heard.empty());
+  EXPECT_EQ(heard[0], ".shop.toys");  // delivered with the ORIGINAL topic
+}
+
+TEST(PubSub, SubtopicSubscribersNeverHearSupertopics) {
+  PubSub bus(lossless_config(4));
+  int leaked = 0;
+  const auto root_speaker = bus.subscribe(".x");
+  bus.subscribe(".x");
+  bus.subscribe(".x.y", [&](const Delivery&) { ++leaked; });
+  bus.subscribe(".x.y");
+  bus.pump(5);
+  bus.publish(root_speaker, "root only");
+  bus.pump(20);
+  EXPECT_EQ(leaked, 0);
+  EXPECT_EQ(bus.system().metrics().parasite_deliveries(), 0u);
+}
+
+TEST(PubSub, AutoPumpAfterPublish) {
+  auto config = lossless_config(5);
+  config.rounds_per_publish = 25;
+  PubSub bus(config);
+  int heard = 0;
+  const auto speaker = bus.subscribe(".t");
+  bus.subscribe(".t", [&](const Delivery&) { ++heard; });
+  bus.subscribe(".t");
+  bus.pump(5);
+  bus.publish(speaker, "no manual pump needed");
+  EXPECT_EQ(heard, 1);  // the configured pump already ran
+}
+
+TEST(PubSub, BinaryPayloadRoundTrip) {
+  PubSub bus(lossless_config(6));
+  std::vector<std::uint8_t> received;
+  const auto speaker = bus.subscribe(".bin");
+  bus.subscribe(".bin",
+                [&](const Delivery& d) { received = d.payload; });
+  bus.pump(3);
+  const std::vector<std::uint8_t> payload{0x00, 0xFF, 0x7F, 0x01};
+  bus.publish(speaker, payload);
+  bus.pump(15);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(PubSub, TopicOfAndIntrospection) {
+  PubSub bus(lossless_config(7));
+  const auto p = bus.subscribe(".deep.topic.here");
+  EXPECT_EQ(bus.topic_of(p), ".deep.topic.here");
+  EXPECT_TRUE(bus.hierarchy().find(".deep.topic").has_value());  // ancestors
+  EXPECT_EQ(bus.deliveries_observed(), 0u);
+}
+
+TEST(PubSub, ManyEventsAllDistinct) {
+  PubSub bus(lossless_config(8));
+  std::vector<net::EventId> seen;
+  const auto speaker = bus.subscribe(".m");
+  bus.subscribe(".m", [&](const Delivery& d) { seen.push_back(d.event); });
+  bus.pump(3);
+  for (int i = 0; i < 5; ++i) {
+    bus.publish(speaker, "msg " + std::to_string(i));
+    bus.pump(15);
+  }
+  ASSERT_EQ(seen.size(), 5u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]);
+    }
+  }
+}
+
+TEST(PubSub, RejectsBadTopicSyntax) {
+  PubSub bus(lossless_config(9));
+  EXPECT_THROW(bus.subscribe("no-leading-dot"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,108 @@
+// Bounded duplicate-suppression memory (NodeConfig::max_seen_events).
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+#include "fake_env.hpp"
+#include "topics/hierarchy.hpp"
+
+namespace dam::core {
+namespace {
+
+using testing::FakeEnv;
+
+class SeenGcTest : public ::testing::Test {
+ protected:
+  SeenGcTest() { levels_ = topics::make_linear_hierarchy(hierarchy_, 1); }
+
+  Message event_msg(std::uint32_t publisher, std::uint32_t seq) {
+    Message msg;
+    msg.kind = MsgKind::kEvent;
+    msg.from = ProcessId{publisher};
+    msg.to = ProcessId{0};
+    msg.topic = levels_[1];
+    msg.event = net::EventId{ProcessId{publisher}, seq};
+    return msg;
+  }
+
+  topics::TopicHierarchy hierarchy_;
+  std::vector<topics::TopicId> levels_;
+  FakeEnv env_;
+};
+
+TEST_F(SeenGcTest, UnboundedByDefault) {
+  NodeConfig config;
+  DamNode node(ProcessId{0}, levels_[1], &hierarchy_, config, 10,
+               util::Rng(1), &env_);
+  node.subscribe({ProcessId{1}}, {ProcessId{50}});
+  for (std::uint32_t seq = 0; seq < 500; ++seq) {
+    node.on_message(event_msg(9, seq));
+  }
+  // Every event remembered: replays are all suppressed.
+  for (std::uint32_t seq = 0; seq < 500; ++seq) {
+    EXPECT_TRUE(node.has_seen(net::EventId{ProcessId{9}, seq}));
+  }
+}
+
+TEST_F(SeenGcTest, BoundedSetEvictsOldestFirst) {
+  NodeConfig config;
+  config.max_seen_events = 10;
+  DamNode node(ProcessId{0}, levels_[1], &hierarchy_, config, 10,
+               util::Rng(1), &env_);
+  node.subscribe({ProcessId{1}}, {ProcessId{50}});
+  for (std::uint32_t seq = 0; seq < 25; ++seq) {
+    node.on_message(event_msg(9, seq));
+  }
+  // The oldest 15 were forgotten; the newest 10 survive.
+  for (std::uint32_t seq = 0; seq < 15; ++seq) {
+    EXPECT_FALSE(node.has_seen(net::EventId{ProcessId{9}, seq})) << seq;
+  }
+  for (std::uint32_t seq = 15; seq < 25; ++seq) {
+    EXPECT_TRUE(node.has_seen(net::EventId{ProcessId{9}, seq})) << seq;
+  }
+}
+
+TEST_F(SeenGcTest, RecentDuplicatesStillSuppressed) {
+  NodeConfig config;
+  config.max_seen_events = 10;
+  DamNode node(ProcessId{0}, levels_[1], &hierarchy_, config, 10,
+               util::Rng(1), &env_);
+  node.subscribe({ProcessId{1}}, {ProcessId{50}});
+  node.on_message(event_msg(9, 0));
+  const auto delivered = env_.delivered.size();
+  node.on_message(event_msg(9, 0));  // within the window: suppressed
+  EXPECT_EQ(env_.delivered.size(), delivered);
+  EXPECT_EQ(node.duplicate_count(), 1u);
+}
+
+TEST_F(SeenGcTest, ForgottenEventIsRedeliveredNotCrashed) {
+  // An event older than the window is treated as new again — safe (extra
+  // traffic), never incorrect.
+  NodeConfig config;
+  config.max_seen_events = 5;
+  DamNode node(ProcessId{0}, levels_[1], &hierarchy_, config, 10,
+               util::Rng(1), &env_);
+  node.subscribe({ProcessId{1}}, {ProcessId{50}});
+  node.on_message(event_msg(9, 0));
+  for (std::uint32_t seq = 1; seq <= 6; ++seq) {
+    node.on_message(event_msg(9, seq));  // pushes seq 0 out of the window
+  }
+  const auto before = env_.delivered.size();
+  node.on_message(event_msg(9, 0));
+  EXPECT_EQ(env_.delivered.size(), before + 1);  // delivered again
+}
+
+TEST_F(SeenGcTest, PublishedEventsCountAgainstTheWindow) {
+  NodeConfig config;
+  config.max_seen_events = 3;
+  DamNode node(ProcessId{0}, levels_[1], &hierarchy_, config, 10,
+               util::Rng(1), &env_);
+  node.subscribe({ProcessId{1}}, {ProcessId{50}});
+  const auto own = node.publish();
+  node.on_message(event_msg(9, 0));
+  node.on_message(event_msg(9, 1));
+  node.on_message(event_msg(9, 2));  // evicts the node's own event
+  EXPECT_FALSE(node.has_seen(own));
+}
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,153 @@
+// Full-system integration: dynamic membership, real bootstrap (no
+// auto-wiring), multiple publishers, multi-branch hierarchies.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "topics/hierarchy.hpp"
+
+namespace dam::core {
+namespace {
+
+TEST(EndToEnd, ColdStartBootstrapThenPublish) {
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 2);
+  DamSystem::Config config;
+  config.seed = 5;
+  config.neighborhood_degree = 6;
+  config.node.params.psucc = 0.95;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(levels[0], 10);
+  system.spawn_group(levels[1], 25);
+  const auto leaves = system.spawn_group(levels[2], 50);
+
+  // Cold start: nodes must discover super contacts through the overlay.
+  system.run_rounds(50);
+
+  const auto event = system.publish(leaves[3]);
+  system.run_rounds(30);
+  EXPECT_GT(system.delivery_ratio(event), 0.9);
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+}
+
+TEST(EndToEnd, ManyPublishersManyEvents) {
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 2);
+  DamSystem::Config config;
+  config.seed = 6;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(levels[0], 8);
+  const auto mids = system.spawn_group(levels[1], 16);
+  const auto leaves = system.spawn_group(levels[2], 32);
+  system.run_rounds(3);
+
+  std::vector<net::EventId> events;
+  events.push_back(system.publish(leaves[0]));
+  events.push_back(system.publish(leaves[10]));
+  events.push_back(system.publish(mids[2]));
+  system.run_rounds(30);
+
+  for (const auto& event : events) {
+    EXPECT_TRUE(system.all_delivered(event));
+  }
+  // The mid-level event must not have reached any leaf.
+  for (ProcessId leaf : leaves) {
+    EXPECT_FALSE(system.delivered_set(events[2]).contains(leaf));
+  }
+}
+
+TEST(EndToEnd, MultiBranchTreeRouting) {
+  topics::TopicHierarchy hierarchy;
+  const auto market = hierarchy.add(".market");
+  const auto stocks = hierarchy.add(".market.stocks");
+  const auto tech = hierarchy.add(".market.stocks.tech");
+  const auto energy = hierarchy.add(".market.stocks.energy");
+  const auto bonds = hierarchy.add(".market.bonds");
+
+  DamSystem::Config config;
+  config.seed = 7;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(market, 6);
+  system.spawn_group(stocks, 12);
+  const auto tech_subs = system.spawn_group(tech, 20);
+  const auto energy_subs = system.spawn_group(energy, 20);
+  const auto bond_subs = system.spawn_group(bonds, 10);
+  system.run_rounds(3);
+
+  const auto event = system.publish(tech_subs[0]);
+  system.run_rounds(30);
+
+  EXPECT_TRUE(system.all_delivered(event));
+  const auto& delivered = system.delivered_set(event);
+  for (ProcessId p : energy_subs) EXPECT_FALSE(delivered.contains(p));
+  for (ProcessId p : bond_subs) EXPECT_FALSE(delivered.contains(p));
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+}
+
+TEST(EndToEnd, LateJoinerCatchesFutureEvents) {
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 1);
+  DamSystem::Config config;
+  config.seed = 8;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(levels[0], 5);
+  const auto original = system.spawn_group(levels[1], 20);
+  system.run_rounds(5);
+
+  // A process joins after the group formed.
+  const auto late = system.spawn(levels[1]);
+  system.run_rounds(8);  // membership gossip integrates it
+
+  const auto event = system.publish(original[0]);
+  system.run_rounds(20);
+  EXPECT_TRUE(system.delivered_set(event).contains(late));
+}
+
+TEST(EndToEnd, PublisherInRootGroupOnly) {
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 2);
+  DamSystem::Config config;
+  config.seed = 9;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  const auto roots = system.spawn_group(levels[0], 12);
+  const auto mids = system.spawn_group(levels[1], 20);
+  system.spawn_group(levels[2], 30);
+  system.run_rounds(3);
+
+  const auto event = system.publish(roots[0]);
+  system.run_rounds(20);
+  EXPECT_TRUE(system.all_delivered(event));
+  // Only the root group should have received it.
+  for (ProcessId mid : mids) {
+    EXPECT_FALSE(system.delivered_set(event).contains(mid));
+  }
+  EXPECT_EQ(system.metrics().group(levels[0]).inter_sent, 0u);
+}
+
+TEST(EndToEnd, ControlTrafficStaysModest) {
+  // Membership + maintenance traffic per round per process is O(1).
+  topics::TopicHierarchy hierarchy;
+  const auto levels = topics::make_linear_hierarchy(hierarchy, 1);
+  DamSystem::Config config;
+  config.seed = 10;
+  config.auto_wire_super_tables = true;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(levels[0], 10);
+  system.spawn_group(levels[1], 40);
+  constexpr std::size_t kRounds = 30;
+  system.run_rounds(kRounds);
+  const auto control = system.metrics().total_control_messages();
+  // <= ~1 gossip per process per round plus a little maintenance slack.
+  EXPECT_LE(control, 50u * kRounds * 2);
+  EXPECT_GT(control, 0u);
+}
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,131 @@
+#include "membership/flat_membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dam::membership {
+namespace {
+
+using net::Message;
+using net::MsgKind;
+using topics::TopicId;
+
+FlatMembership make_member(std::uint32_t id, std::size_t group_size = 100) {
+  return FlatMembership(ProcessId{id}, TopicId{1}, FlatMembership::Config{},
+                        group_size, util::Rng(id + 1));
+}
+
+TEST(FlatMembership, CapacityFormula) {
+  // (b+1)·ln(S) with b=3: S=1000 -> ceil(4·6.907...) = 28.
+  EXPECT_EQ(FlatMembership::capacity_for(3.0, 1000), 28u);
+  EXPECT_EQ(FlatMembership::capacity_for(3.0, 100), 19u);
+  EXPECT_EQ(FlatMembership::capacity_for(3.0, 10), 10u);
+  EXPECT_EQ(FlatMembership::capacity_for(3.0, 1), 1u);
+  EXPECT_EQ(FlatMembership::capacity_for(0.0, 100), 5u);
+}
+
+TEST(FlatMembership, JoinSeedsView) {
+  auto member = make_member(0);
+  member.join({ProcessId{1}, ProcessId{2}, ProcessId{0}});
+  EXPECT_EQ(member.view().size(), 2u);  // self filtered out
+  EXPECT_TRUE(member.view().contains(ProcessId{1}));
+}
+
+TEST(FlatMembership, RoundEmitsGossipToViewMembers) {
+  auto member = make_member(0);
+  member.join({ProcessId{1}, ProcessId{2}, ProcessId{3}});
+  std::vector<Message> sent;
+  member.round(7, {}, std::nullopt,
+               [&](Message&& msg) { sent.push_back(std::move(msg)); });
+  ASSERT_EQ(sent.size(), 1u);  // default gossip_fanout = 1
+  EXPECT_EQ(sent[0].kind, MsgKind::kMembership);
+  EXPECT_EQ(sent[0].from, ProcessId{0});
+  EXPECT_EQ(sent[0].answer_topic, TopicId{1});
+  EXPECT_EQ(sent[0].sent_at, 7u);
+  EXPECT_TRUE(member.view().contains(sent[0].to));
+  EXPECT_FALSE(sent[0].piggyback_topic.has_value());
+}
+
+TEST(FlatMembership, RoundWithEmptyViewIsSilent) {
+  auto member = make_member(0);
+  int sent = 0;
+  member.round(0, {}, std::nullopt, [&](Message&&) { ++sent; });
+  EXPECT_EQ(sent, 0);
+}
+
+TEST(FlatMembership, PiggybackRidesAlong) {
+  auto member = make_member(0);
+  member.join({ProcessId{1}});
+  std::vector<Message> sent;
+  member.round(0, {ProcessId{50}, ProcessId{51}}, TopicId{9},
+               [&](Message&& msg) { sent.push_back(std::move(msg)); });
+  ASSERT_EQ(sent.size(), 1u);
+  ASSERT_TRUE(sent[0].piggyback_topic.has_value());
+  EXPECT_EQ(*sent[0].piggyback_topic, TopicId{9});
+  EXPECT_EQ(sent[0].piggyback_super_table.size(), 2u);
+}
+
+TEST(FlatMembership, OnMembershipLearnsSenderAndPayload) {
+  auto member = make_member(0);
+  Message msg;
+  msg.kind = MsgKind::kMembership;
+  msg.from = ProcessId{5};
+  msg.to = ProcessId{0};
+  msg.answer_topic = TopicId{1};
+  msg.processes = {ProcessId{6}, ProcessId{7}};
+  member.on_membership(msg);
+  EXPECT_TRUE(member.view().contains(ProcessId{5}));
+  EXPECT_TRUE(member.view().contains(ProcessId{6}));
+  EXPECT_TRUE(member.view().contains(ProcessId{7}));
+}
+
+TEST(FlatMembership, EvictRemovesPeer) {
+  auto member = make_member(0);
+  member.join({ProcessId{1}, ProcessId{2}});
+  member.evict(ProcessId{1});
+  EXPECT_FALSE(member.view().contains(ProcessId{1}));
+  EXPECT_TRUE(member.view().contains(ProcessId{2}));
+}
+
+TEST(FlatMembership, GroupSizeEstimateResizesView) {
+  auto member = make_member(0, 1000);
+  EXPECT_EQ(member.view().capacity(), 28u);
+  member.set_group_size_estimate(10);
+  EXPECT_EQ(member.group_size_estimate(), 10u);
+  EXPECT_EQ(member.view().capacity(), 10u);
+}
+
+TEST(FlatMembership, GossipConvergesViewsInAGroup) {
+  // 30 members in a line initially; after enough gossip rounds every view
+  // should be full (knowledge has spread well beyond direct contacts).
+  constexpr std::uint32_t kMembers = 30;
+  std::vector<FlatMembership> members;
+  members.reserve(kMembers);
+  for (std::uint32_t i = 0; i < kMembers; ++i) {
+    members.push_back(make_member(i, kMembers));
+  }
+  for (std::uint32_t i = 0; i + 1 < kMembers; ++i) {
+    members[i].join({ProcessId{i + 1}});
+    members[i + 1].join({ProcessId{i}});
+  }
+  for (sim::Round round = 0; round < 60; ++round) {
+    std::vector<Message> mail;
+    for (auto& member : members) {
+      member.round(round, {}, std::nullopt,
+                   [&](Message&& msg) { mail.push_back(std::move(msg)); });
+    }
+    for (const Message& msg : mail) {
+      members[msg.to.value].on_membership(msg);
+    }
+  }
+  const std::size_t capacity = FlatMembership::capacity_for(3.0, kMembers);
+  for (const auto& member : members) {
+    EXPECT_GE(member.view().size(), capacity - 2)
+        << "member " << member.self().value;
+  }
+}
+
+}  // namespace
+}  // namespace dam::membership

@@ -1,0 +1,134 @@
+#include "membership/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dam::membership {
+namespace {
+
+TEST(PartialView, InsertBasics) {
+  util::Rng rng(1);
+  PartialView view(ProcessId{0}, 3);
+  EXPECT_TRUE(view.empty());
+  EXPECT_TRUE(view.insert(ProcessId{1}, rng));
+  EXPECT_TRUE(view.insert(ProcessId{2}, rng));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.contains(ProcessId{1}));
+  EXPECT_FALSE(view.contains(ProcessId{9}));
+}
+
+TEST(PartialView, RejectsOwnerAndDuplicates) {
+  util::Rng rng(2);
+  PartialView view(ProcessId{0}, 3);
+  EXPECT_FALSE(view.insert(ProcessId{0}, rng));
+  EXPECT_TRUE(view.insert(ProcessId{1}, rng));
+  EXPECT_FALSE(view.insert(ProcessId{1}, rng));
+  EXPECT_EQ(view.size(), 1u);
+}
+
+TEST(PartialView, FullViewEvictsRandomly) {
+  util::Rng rng(3);
+  PartialView view(ProcessId{0}, 2);
+  view.insert(ProcessId{1}, rng);
+  view.insert(ProcessId{2}, rng);
+  EXPECT_TRUE(view.full());
+  EXPECT_TRUE(view.insert(ProcessId{3}, rng));
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.contains(ProcessId{3}));
+}
+
+TEST(PartialView, EvictionIsUniformish) {
+  // With capacity 2 holding {1,2}, inserting 3 evicts 1 or 2 each about
+  // half the time.
+  std::map<bool, int> kept1;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    util::Rng rng(seed);
+    PartialView view(ProcessId{0}, 2);
+    view.insert(ProcessId{1}, rng);
+    view.insert(ProcessId{2}, rng);
+    view.insert(ProcessId{3}, rng);
+    ++kept1[view.contains(ProcessId{1})];
+  }
+  EXPECT_NEAR(kept1[true], 1000, 120);
+}
+
+TEST(PartialView, ZeroCapacityNeverStores) {
+  util::Rng rng(5);
+  PartialView view(ProcessId{0}, 0);
+  EXPECT_FALSE(view.insert(ProcessId{1}, rng));
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(PartialView, EraseAndRetain) {
+  util::Rng rng(6);
+  PartialView view(ProcessId{0}, 5);
+  for (std::uint32_t i = 1; i <= 5; ++i) view.insert(ProcessId{i}, rng);
+  EXPECT_TRUE(view.erase(ProcessId{3}));
+  EXPECT_FALSE(view.erase(ProcessId{3}));
+  EXPECT_EQ(view.size(), 4u);
+  view.retain([](ProcessId p) { return p.value % 2 == 0; });
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.contains(ProcessId{2}));
+  EXPECT_TRUE(view.contains(ProcessId{4}));
+}
+
+TEST(PartialView, SampleReturnsDistinctEntries) {
+  util::Rng rng(7);
+  PartialView view(ProcessId{0}, 10);
+  for (std::uint32_t i = 1; i <= 10; ++i) view.insert(ProcessId{i}, rng);
+  const auto picked = view.sample(4, rng);
+  ASSERT_EQ(picked.size(), 4u);
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    for (std::size_t j = i + 1; j < picked.size(); ++j) {
+      EXPECT_NE(picked[i], picked[j]);
+    }
+    EXPECT_TRUE(view.contains(picked[i]));
+  }
+}
+
+TEST(PartialView, SampleMoreThanSizeReturnsAll) {
+  util::Rng rng(8);
+  PartialView view(ProcessId{0}, 5);
+  view.insert(ProcessId{1}, rng);
+  view.insert(ProcessId{2}, rng);
+  EXPECT_EQ(view.sample(10, rng).size(), 2u);
+}
+
+TEST(PartialView, PickReturnsMember) {
+  util::Rng rng(9);
+  PartialView view(ProcessId{0}, 5);
+  view.insert(ProcessId{7}, rng);
+  EXPECT_EQ(view.pick(rng), ProcessId{7});
+}
+
+TEST(PartialView, ShrinkCapacityEvicts) {
+  util::Rng rng(10);
+  PartialView view(ProcessId{0}, 8);
+  for (std::uint32_t i = 1; i <= 8; ++i) view.insert(ProcessId{i}, rng);
+  view.set_capacity(3, rng);
+  EXPECT_EQ(view.capacity(), 3u);
+  EXPECT_EQ(view.size(), 3u);
+}
+
+TEST(PartialView, GrowCapacityKeepsEntries) {
+  util::Rng rng(11);
+  PartialView view(ProcessId{0}, 2);
+  view.insert(ProcessId{1}, rng);
+  view.insert(ProcessId{2}, rng);
+  view.set_capacity(5, rng);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.insert(ProcessId{3}, rng));
+  EXPECT_EQ(view.size(), 3u);
+}
+
+TEST(PartialView, ClearEmpties) {
+  util::Rng rng(12);
+  PartialView view(ProcessId{0}, 4);
+  view.insert(ProcessId{1}, rng);
+  view.clear();
+  EXPECT_TRUE(view.empty());
+}
+
+}  // namespace
+}  // namespace dam::membership

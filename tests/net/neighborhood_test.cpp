@@ -1,0 +1,110 @@
+#include "net/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dam::net {
+namespace {
+
+TEST(Neighborhood, RandomHasRequestedDegree) {
+  util::Rng rng(1);
+  const auto overlay = Neighborhood::random(100, 4, rng);
+  EXPECT_EQ(overlay.process_count(), 100u);
+  for (std::uint32_t p = 0; p < 100; ++p) {
+    // Symmetrization can push degree above 4, but never below.
+    EXPECT_GE(overlay.neighbors(ProcessId{p}).size(), 4u);
+  }
+}
+
+TEST(Neighborhood, EdgesAreSymmetric) {
+  util::Rng rng(2);
+  const auto overlay = Neighborhood::random(50, 3, rng);
+  for (std::uint32_t p = 0; p < 50; ++p) {
+    for (ProcessId q : overlay.neighbors(ProcessId{p})) {
+      const auto& back = overlay.neighbors(q);
+      EXPECT_NE(std::find(back.begin(), back.end(), ProcessId{p}), back.end())
+          << p << " -> " << q.value << " has no reverse edge";
+    }
+  }
+}
+
+TEST(Neighborhood, NoSelfLoopsOrDuplicates) {
+  util::Rng rng(3);
+  const auto overlay = Neighborhood::random(60, 5, rng);
+  for (std::uint32_t p = 0; p < 60; ++p) {
+    const auto& neighbors = overlay.neighbors(ProcessId{p});
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      EXPECT_NE(neighbors[i], ProcessId{p});
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        EXPECT_NE(neighbors[i], neighbors[j]);
+      }
+    }
+  }
+}
+
+TEST(Neighborhood, RandomKOutIsConnectedForReasonableDegree) {
+  // A symmetrized random 4-out digraph on 200 nodes is connected with
+  // overwhelming probability.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const auto overlay = Neighborhood::random(200, 4, rng);
+    EXPECT_TRUE(overlay.connected()) << "seed " << seed;
+  }
+}
+
+TEST(Neighborhood, TinyPopulations) {
+  util::Rng rng(4);
+  const auto empty = Neighborhood::random(0, 3, rng);
+  EXPECT_EQ(empty.process_count(), 0u);
+  EXPECT_TRUE(empty.connected());
+
+  const auto single = Neighborhood::random(1, 3, rng);
+  EXPECT_TRUE(single.neighbors(ProcessId{0}).empty());
+  EXPECT_TRUE(single.connected());
+
+  const auto pair = Neighborhood::random(2, 3, rng);
+  ASSERT_EQ(pair.neighbors(ProcessId{0}).size(), 1u);
+  EXPECT_EQ(pair.neighbors(ProcessId{0})[0], ProcessId{1});
+}
+
+TEST(Neighborhood, DegreeCappedByPopulation) {
+  util::Rng rng(5);
+  const auto overlay = Neighborhood::random(4, 10, rng);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(overlay.neighbors(ProcessId{p}).size(), 3u);
+  }
+}
+
+TEST(Neighborhood, AddProcessJoinsExistingGraph) {
+  util::Rng rng(6);
+  auto overlay = Neighborhood::random(10, 3, rng);
+  const ProcessId fresh = overlay.add_process(3, rng);
+  EXPECT_EQ(fresh.value, 10u);
+  EXPECT_EQ(overlay.process_count(), 11u);
+  EXPECT_GE(overlay.neighbors(fresh).size(), 3u);
+  EXPECT_TRUE(overlay.connected());
+}
+
+TEST(Neighborhood, AddFirstProcessHasNoNeighbors) {
+  util::Rng rng(7);
+  Neighborhood overlay;
+  const ProcessId first = overlay.add_process(3, rng);
+  EXPECT_TRUE(overlay.neighbors(first).empty());
+}
+
+TEST(Neighborhood, ExplicitAdjacency) {
+  Neighborhood overlay(std::vector<std::vector<ProcessId>>{
+      {ProcessId{1}}, {ProcessId{0}, ProcessId{2}}, {ProcessId{1}}});
+  EXPECT_TRUE(overlay.connected());
+  EXPECT_EQ(overlay.neighbors(ProcessId{1}).size(), 2u);
+}
+
+TEST(Neighborhood, DisconnectedGraphDetected) {
+  Neighborhood overlay(std::vector<std::vector<ProcessId>>{
+      {ProcessId{1}}, {ProcessId{0}}, {}, {}});
+  EXPECT_FALSE(overlay.connected());
+}
+
+}  // namespace
+}  // namespace dam::net

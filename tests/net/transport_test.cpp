@@ -1,0 +1,114 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dam::net {
+namespace {
+
+Message make_msg(std::uint32_t from, std::uint32_t to) {
+  Message msg;
+  msg.kind = MsgKind::kEvent;
+  msg.from = ProcessId{from};
+  msg.to = ProcessId{to};
+  return msg;
+}
+
+TEST(Transport, DeliversAfterDelay) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  transport.send(make_msg(0, 1), /*now=*/0);
+  int delivered = 0;
+  transport.deliver_round(0, [&](const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 0);  // not due yet
+  transport.deliver_round(1, [&](const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(transport.idle());
+}
+
+TEST(Transport, PreservesSendOrderWithinRound) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  for (std::uint32_t i = 0; i < 5; ++i) transport.send(make_msg(0, i), 0);
+  std::vector<std::uint32_t> order;
+  transport.deliver_round(1, [&](const Message& m) { order.push_back(m.to.value); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Transport, LossRateMatchesPsucc) {
+  Transport transport({.psucc = 0.85, .delay = 1}, util::Rng(7), nullptr);
+  constexpr int kMessages = 20000;
+  for (int i = 0; i < kMessages; ++i) transport.send(make_msg(0, 1), 0);
+  int delivered = 0;
+  transport.deliver_round(1, [&](const Message&) { ++delivered; });
+  EXPECT_NEAR(static_cast<double>(delivered) / kMessages, 0.85, 0.01);
+  EXPECT_EQ(transport.stats().sent, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(transport.stats().delivered + transport.stats().lost_channel,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(Transport, LossAtSendMatchesLossAtDelivery) {
+  // Same law, applied at a different time; both should deliver ~psucc.
+  Transport at_send({.psucc = 0.5, .delay = 1, .loss_at_send = true},
+                    util::Rng(3), nullptr);
+  constexpr int kMessages = 20000;
+  for (int i = 0; i < kMessages; ++i) at_send.send(make_msg(0, 1), 0);
+  int delivered = 0;
+  at_send.deliver_round(1, [&](const Message&) { ++delivered; });
+  EXPECT_NEAR(static_cast<double>(delivered) / kMessages, 0.5, 0.02);
+}
+
+TEST(Transport, FailureModelBlocksDelivery) {
+  sim::StillbornFailures failures({ProcessId{1}});
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), &failures);
+  transport.send(make_msg(0, 1), 0);  // to failed process
+  transport.send(make_msg(0, 2), 0);  // to alive process
+  std::vector<std::uint32_t> received;
+  transport.deliver_round(1,
+                          [&](const Message& m) { received.push_back(m.to.value); });
+  EXPECT_EQ(received, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(transport.stats().lost_failure, 1u);
+}
+
+TEST(Transport, MessagesSentDuringDeliveryLandLater) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  transport.send(make_msg(0, 1), 0);
+  int round1 = 0;
+  transport.deliver_round(1, [&](const Message&) {
+    ++round1;
+    transport.send(make_msg(1, 2), 1);  // reply during delivery
+  });
+  EXPECT_EQ(round1, 1);
+  int round2 = 0;
+  transport.deliver_round(2, [&](const Message&) { ++round2; });
+  EXPECT_EQ(round2, 1);
+}
+
+TEST(Transport, LongerDelay) {
+  Transport transport({.psucc = 1.0, .delay = 3}, util::Rng(1), nullptr);
+  transport.send(make_msg(0, 1), 5);
+  int delivered = 0;
+  for (sim::Round r = 0; r <= 8; ++r) {
+    transport.deliver_round(r, [&](const Message&) { ++delivered; });
+  }
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(transport.idle() && delivered == 0);
+}
+
+TEST(Transport, BytesAccounted) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  const Message msg = make_msg(0, 1);
+  transport.send(msg, 0);
+  EXPECT_EQ(transport.stats().bytes_sent, encoded_size(msg));
+}
+
+TEST(Transport, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Transport transport({.psucc = 0.5, .delay = 1}, util::Rng(42), nullptr);
+    for (int i = 0; i < 100; ++i) transport.send(make_msg(0, 1), 0);
+    int delivered = 0;
+    transport.deliver_round(1, [&](const Message&) { ++delivered; });
+    return delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dam::net

@@ -1,0 +1,253 @@
+// Randomized ("fuzz-style") property tests: the codec must be total over
+// arbitrary bytes, and the protocol invariants must hold over randomly
+// generated hierarchies, populations and parameters — not just the
+// hand-picked shapes in invariants_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dag_sim.hpp"
+#include "core/static_sim.hpp"
+#include "core/system.hpp"
+#include "net/message.hpp"
+#include "topics/dag.hpp"
+#include "topics/hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace dam {
+namespace {
+
+TEST(CodecFuzz, DecodeIsTotalOverRandomBytes) {
+  util::Rng rng(0xF022);
+  std::size_t parsed = 0;
+  for (int trial = 0; trial < 50000; ++trial) {
+    const std::size_t length = rng.below(80);
+    std::vector<std::uint8_t> bytes(length);
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.below(256));
+    // Must never crash, hang, or read out of bounds; may parse or not.
+    const auto decoded = net::decode(bytes);
+    if (decoded) {
+      ++parsed;
+      // Anything that parses must re-encode to a decodable message of the
+      // same value (canonical round-trip).
+      const auto reencoded = net::encode(*decoded);
+      const auto twice = net::decode(reencoded);
+      ASSERT_TRUE(twice.has_value());
+      EXPECT_EQ(*twice, *decoded);
+    }
+  }
+  // Random bytes occasionally parse (tiny messages); either way the loop
+  // finishing is the real assertion.
+  SUCCEED() << parsed << " of 50000 random strings parsed";
+}
+
+TEST(CodecFuzz, BitFlipsNeverCrashDecoder) {
+  net::Message msg;
+  msg.kind = net::MsgKind::kMembership;
+  msg.from = topics::ProcessId{3};
+  msg.to = topics::ProcessId{4};
+  msg.answer_topic = topics::TopicId{2};
+  msg.processes = {topics::ProcessId{5}, topics::ProcessId{6}};
+  msg.piggyback_topic = topics::TopicId{1};
+  msg.piggyback_super_table = {topics::ProcessId{9}};
+  msg.event_ids = {net::EventId{topics::ProcessId{3}, 7}};
+  const auto bytes = net::encode(msg);
+  for (std::size_t byte_index = 0; byte_index < bytes.size(); ++byte_index) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = bytes;
+      mutated[byte_index] ^= static_cast<std::uint8_t>(1u << bit);
+      (void)net::decode(mutated);  // must not crash; result unspecified
+    }
+  }
+  SUCCEED();
+}
+
+/// Builds a random topic tree with `topic_count` topics under the root.
+std::vector<topics::TopicId> random_tree(topics::TopicHierarchy& hierarchy,
+                                         std::size_t topic_count,
+                                         util::Rng& rng) {
+  std::vector<topics::TopicId> ids{topics::kRootTopic};
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    const topics::TopicId parent = ids[rng.below(ids.size())];
+    const auto path =
+        hierarchy.path(parent).child("s" + std::to_string(i));
+    ids.push_back(hierarchy.add(path));
+  }
+  return ids;
+}
+
+class RandomTopologyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopologyFuzz, InvariantsHoldOnRandomTrees) {
+  util::Rng rng(GetParam());
+  topics::TopicHierarchy hierarchy;
+  const auto ids = random_tree(hierarchy, 3 + rng.below(8), rng);
+
+  core::DamSystem::Config config;
+  config.seed = GetParam() * 31 + 7;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  core::DamSystem system(hierarchy, config);
+
+  // Random population per topic (every topic non-empty).
+  for (topics::TopicId id : ids) {
+    system.spawn_group(id, 2 + rng.below(12));
+  }
+  system.run_rounds(3);
+
+  // Publish from 3 random processes.
+  std::vector<net::EventId> events;
+  for (int i = 0; i < 3; ++i) {
+    const auto publisher = topics::ProcessId{
+        static_cast<std::uint32_t>(rng.below(system.process_count()))};
+    events.push_back(system.publish(publisher));
+  }
+  system.run_rounds(30);
+
+  // Invariant: zero parasites, ever.
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+
+  for (const auto& event : events) {
+    const auto& delivered = system.delivered_set(event);
+    // Every receiver is genuinely interested.
+    const topics::TopicId event_topic =
+        system.registry().topic_of(event.publisher);
+    for (topics::ProcessId p : delivered) {
+      EXPECT_TRUE(system.registry().interested_in(p, event_topic));
+    }
+    // Good coverage of the interested set (lossless channels).
+    EXPECT_GT(system.delivery_ratio(event), 0.8);
+  }
+
+  // Memory bound for every process.
+  for (std::uint32_t p = 0; p < system.process_count(); ++p) {
+    const auto& node = system.node(topics::ProcessId{p});
+    const std::size_t S = system.registry().group_size(node.topic());
+    EXPECT_LE(node.memory_footprint(),
+              node.config().params.view_capacity(S) +
+                  node.config().params.z);
+  }
+
+  // Root group never forwards upward.
+  EXPECT_EQ(system.metrics().group(topics::kRootTopic).inter_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class RandomStaticConfigFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomStaticConfigFuzz, StaticEngineAccountingAlwaysConsistent) {
+  util::Rng rng(GetParam() * 977);
+  core::StaticSimConfig config;
+  const std::size_t levels = 1 + rng.below(5);
+  config.group_sizes.clear();
+  for (std::size_t i = 0; i < levels; ++i) {
+    config.group_sizes.push_back(1 + rng.below(200));
+  }
+  core::TopicParams params;
+  params.c = static_cast<double>(rng.below(8));
+  params.g = 1.0 + static_cast<double>(rng.below(10));
+  params.z = 1 + rng.below(5);
+  params.a = 1.0 + static_cast<double>(rng.below(params.z));
+  params.psucc = 0.2 + 0.8 * rng.uniform01();
+  params.tau = rng.below(params.z + 1);
+  config.params = {params};
+  config.alive_fraction = rng.uniform01();
+  config.publish_level = rng.below(levels);
+  config.seed = GetParam();
+
+  const auto result = core::run_static_simulation(config);
+
+  std::uint64_t recomputed_total = 0;
+  for (std::size_t level = 0; level < levels; ++level) {
+    const auto& group = result.groups[level];
+    recomputed_total += group.intra_sent + group.inter_sent;
+    EXPECT_LE(group.delivered, group.alive);
+    EXPECT_LE(group.alive, group.size);
+    // Received never exceeds what the level below sent.
+    if (level + 1 < levels) {
+      EXPECT_LE(group.inter_received, result.groups[level + 1].inter_sent);
+    }
+    // Latency timestamps consistent with delivery.
+    EXPECT_EQ(group.first_delivery_round.has_value(), group.delivered > 0);
+    if (group.first_delivery_round) {
+      EXPECT_LE(*group.first_delivery_round, *group.last_delivery_round);
+    }
+    // Levels below the publish level never see traffic.
+    if (level > *config.publish_level) {
+      EXPECT_EQ(group.delivered, 0u);
+      EXPECT_EQ(group.intra_sent, 0u);
+    }
+  }
+  EXPECT_EQ(result.total_messages, recomputed_total);
+  // Root never sends intergroup messages.
+  EXPECT_EQ(result.groups[0].inter_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStaticConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+class RandomDagFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagFuzz, DagEngineInvariantsOnRandomDags) {
+  util::Rng rng(GetParam() * 409 + 3);
+  // Random DAG: topics in topological order; each non-first topic gets
+  // 1..3 parents among earlier topics (always acyclic by construction).
+  topics::TopicDag dag;
+  const std::size_t topic_count = 3 + rng.below(7);
+  std::vector<topics::DagTopicId> ids;
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    ids.push_back(dag.add_topic("t" + std::to_string(i)));
+    if (i == 0) continue;
+    const std::size_t parent_count = 1 + rng.below(std::min<std::size_t>(i, 3));
+    const auto parents = rng.sample(
+        std::vector<topics::DagTopicId>(ids.begin(), ids.end() - 1),
+        parent_count);
+    for (topics::DagTopicId parent : parents) {
+      dag.add_super(ids.back(), parent);
+    }
+  }
+
+  core::DagSimConfig config;
+  config.dag = &dag;
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    config.group_sizes.push_back(2 + rng.below(60));
+  }
+  config.params.psucc = 0.5 + 0.5 * rng.uniform01();
+  config.alive_fraction = 0.5 + 0.5 * rng.uniform01();
+  config.publish_topic = ids[rng.below(ids.size())];
+  config.seed = GetParam();
+
+  const auto result = core::run_dag_simulation(config);
+
+  std::uint64_t recomputed_total = 0;
+  for (std::size_t i = 0; i < topic_count; ++i) {
+    const auto& group = result.groups[i];
+    recomputed_total += group.intra_sent + group.inter_sent;
+    EXPECT_LE(group.delivered, group.alive);
+    EXPECT_LE(group.alive, group.size);
+    // Only the publish topic and its ancestors may receive anything —
+    // the DAG analogue of "no parasite messages".
+    const bool should_receive =
+        dag.includes(topics::DagTopicId{static_cast<std::uint32_t>(i)},
+                     config.publish_topic);
+    if (!should_receive) {
+      EXPECT_EQ(group.delivered, 0u) << "parasite group " << i;
+      EXPECT_EQ(group.intra_sent, 0u);
+      EXPECT_EQ(group.inter_sent, 0u);
+    }
+    // Roots of the DAG never send intergroup messages.
+    if (dag.is_root(topics::DagTopicId{static_cast<std::uint32_t>(i)})) {
+      EXPECT_EQ(group.inter_sent, 0u);
+    }
+  }
+  EXPECT_EQ(result.total_messages, recomputed_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace dam

@@ -1,0 +1,172 @@
+// Property tests for the invariants listed in DESIGN.md §7, swept over
+// seeds and hierarchy shapes with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "topics/hierarchy.hpp"
+
+namespace dam::core {
+namespace {
+
+struct Shape {
+  const char* name;
+  // (topic path, subscriber count) pairs; paths are added in order.
+  std::vector<std::pair<const char*, std::size_t>> groups;
+  const char* publish_topic;
+};
+
+const Shape kShapes[] = {
+    {"linear",
+     {{".", 6}, {".a", 12}, {".a.b", 24}},
+     ".a.b"},
+    {"wide",
+     {{".", 5}, {".news", 10}, {".news.eu", 15}, {".news.us", 15},
+      {".sports", 10}},
+     ".news.eu"},
+    {"deep",
+     {{".", 4}, {".a", 6}, {".a.b", 8}, {".a.b.c", 10}, {".a.b.c.d", 14}},
+     ".a.b.c.d"},
+    {"gap",  // nobody subscribed at .a.b — supergroup search must skip it
+     {{".", 6}, {".a", 10}, {".a.b.c", 20}},
+     ".a.b.c"},
+};
+
+class InvariantTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  const Shape& shape() const { return kShapes[std::get<0>(GetParam())]; }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(InvariantTest, CoreInvariantsHoldEndToEnd) {
+  topics::TopicHierarchy hierarchy;
+  DamSystem::Config config;
+  config.seed = seed();
+  config.auto_wire_super_tables = true;
+  // The invariants under test are about routing, not loss tolerance;
+  // lossless channels make the delivery check sharp.
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+
+  std::vector<topics::TopicId> topic_ids;
+  std::vector<ProcessId> publishers;
+  for (const auto& [path, count] : shape().groups) {
+    const auto id = hierarchy.add(path);
+    topic_ids.push_back(id);
+    const auto members = system.spawn_group(id, count);
+    if (std::string(path) == shape().publish_topic) {
+      publishers = members;
+    }
+  }
+  ASSERT_FALSE(publishers.empty());
+
+  system.run_rounds(3);
+  const auto event = system.publish(publishers[0]);
+  system.run_rounds(30);
+
+  // Invariant 1: no parasite deliveries, ever.
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+
+  // Invariant 1b: concretely, every delivered process is interested.
+  const auto publish_topic = *hierarchy.find(shape().publish_topic);
+  for (ProcessId p : system.delivered_set(event)) {
+    EXPECT_TRUE(system.registry().interested_in(p, publish_topic))
+        << "process " << p.value << " got a parasite event";
+  }
+
+  // Invariant 2: memory bounds — topic table <= (b+1)ln(S)+1, sTable <= z.
+  for (std::uint32_t p = 0; p < system.process_count(); ++p) {
+    const auto& node = system.node(ProcessId{p});
+    const std::size_t group_size =
+        system.registry().group_size(node.topic());
+    EXPECT_LE(node.group_membership().view().size(),
+              node.config().params.view_capacity(group_size) + 1);
+    EXPECT_LE(node.super_table().size(), node.config().params.z);
+  }
+
+  // Invariant 3: bottom-up monotonicity — intergroup counters only appear
+  // on non-root groups, and the root group never sends upward.
+  EXPECT_EQ(system.metrics().group(topics::kRootTopic).inter_sent, 0u);
+
+  // Invariant 4: duplicate suppression — every duplicate was counted, not
+  // re-forwarded; deliveries never exceed the interested population.
+  EXPECT_LE(system.delivered_set(event).size(),
+            system.registry().interested_set(publish_topic).size());
+
+  // Reliability: with auto-wired tables and no failures, everything green.
+  EXPECT_GT(system.delivery_ratio(event), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndSeeds, InvariantTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(1u, 2u, 3u, 17u, 99u)),
+    [](const auto& info) {
+      return std::string(kShapes[std::get<0>(info.param)].name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Sibling isolation: an event in one branch never reaches another branch's
+// exclusive subscribers, under any seed.
+class SiblingIsolationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SiblingIsolationTest, EventsStayInTheirBranch) {
+  topics::TopicHierarchy hierarchy;
+  const auto eu = hierarchy.add(".news.eu");
+  const auto us = hierarchy.add(".news.us");
+  const auto news = *hierarchy.find(".news");
+
+  DamSystem::Config config;
+  config.seed = GetParam();
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  system.spawn_group(topics::kRootTopic, 4);
+  system.spawn_group(news, 10);
+  const auto eu_subs = system.spawn_group(eu, 12);
+  const auto us_subs = system.spawn_group(us, 12);
+
+  system.run_rounds(3);
+  const auto event = system.publish(eu_subs[0]);
+  system.run_rounds(25);
+
+  for (ProcessId us_sub : us_subs) {
+    EXPECT_FALSE(system.delivered_set(event).contains(us_sub));
+  }
+  // ... while the event still reaches .news and the root.
+  EXPECT_TRUE(system.all_delivered(event));
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiblingIsolationTest,
+                         ::testing::Values(1u, 7u, 23u, 51u, 111u));
+
+// The degenerate single-topic case must impose zero overhead relative to
+// plain gossip: exactly no intergroup or bootstrap traffic.
+class DegenerateCaseTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DegenerateCaseTest, SingleTopicHasNoHierarchyOverhead) {
+  topics::TopicHierarchy hierarchy;
+  DamSystem::Config config;
+  config.seed = GetParam();
+  config.auto_wire_super_tables = true;
+  DamSystem system(hierarchy, config);
+  const auto members = system.spawn_group(topics::kRootTopic, 40);
+  system.run_rounds(5);
+  const auto event = system.publish(members[0]);
+  system.run_rounds(20);
+  const auto& counters = system.metrics().group(topics::kRootTopic);
+  EXPECT_EQ(counters.inter_sent, 0u);
+  EXPECT_GT(counters.intra_sent, 0u);
+  for (ProcessId member : members) {
+    EXPECT_TRUE(system.node(member).super_table().empty());
+    EXPECT_FALSE(system.node(member).bootstrap().active());
+  }
+  EXPECT_GT(system.delivery_ratio(event), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegenerateCaseTest,
+                         ::testing::Values(2u, 13u, 77u));
+
+}  // namespace
+}  // namespace dam::core

@@ -1,0 +1,106 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dam::sim {
+namespace {
+
+TEST(EventQueue, RunsInRoundThenSeqOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(5, [&] { order.push_back(5); });
+  queue.schedule_at(1, [&] { order.push_back(1); });
+  queue.schedule_at(1, [&] { order.push_back(2); });
+  queue.schedule_at(3, [&] { order.push_back(3); });
+  EXPECT_EQ(queue.run_until(10), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5}));
+}
+
+TEST(EventQueue, RunUntilRespectsBound) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(1, [&] { ++fired; });
+  queue.schedule_at(2, [&] { ++fired; });
+  queue.schedule_at(3, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.run_until(3), 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAlsoFire) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(1, [&] {
+    order.push_back(1);
+    queue.schedule_at(2, [&] { order.push_back(2); });
+  });
+  EXPECT_EQ(queue.run_until(5), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SelfReschedulingBeyondBoundStops) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    ++fired;
+    queue.schedule_at(static_cast<Round>(fired + 1), tick);
+  };
+  queue.schedule_at(1, tick);
+  queue.run_until(5);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.pending(), 1u);  // next tick waits at round 6
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const auto token = queue.schedule_at(1, [&] { ++fired; });
+  queue.schedule_at(1, [&] { ++fired; });
+  EXPECT_TRUE(queue.cancel(token));
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(2);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue queue;
+  const auto token = queue.schedule_at(1, [] {});
+  EXPECT_TRUE(queue.cancel(token));
+  EXPECT_FALSE(queue.cancel(token));
+  EXPECT_FALSE(queue.cancel(9999));
+}
+
+TEST(EventQueue, NextRoundReportsEarliest) {
+  EventQueue queue;
+  EXPECT_THROW(queue.next_round(), std::logic_error);
+  queue.schedule_at(7, [] {});
+  queue.schedule_at(3, [] {});
+  EXPECT_EQ(queue.next_round(), 3u);
+}
+
+TEST(EventQueue, EmptyAfterDraining) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.schedule_at(0, [] {});
+  EXPECT_FALSE(queue.empty());
+  queue.run_until(0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Clock, AdvancesMonotonically) {
+  Clock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.tick();
+  EXPECT_EQ(clock.now(), 1u);
+  clock.advance_to(10);
+  EXPECT_EQ(clock.now(), 10u);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+}  // namespace
+}  // namespace dam::sim

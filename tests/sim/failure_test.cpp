@@ -1,0 +1,127 @@
+#include "sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dam::sim {
+namespace {
+
+std::vector<ProcessId> make_processes(std::uint32_t n) {
+  std::vector<ProcessId> processes;
+  for (std::uint32_t i = 0; i < n; ++i) processes.push_back(ProcessId{i});
+  return processes;
+}
+
+TEST(NoFailures, EverybodyAliveAndDeliverable) {
+  NoFailures model;
+  util::Rng rng(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(model.alive(ProcessId{i}, 0));
+    EXPECT_TRUE(model.deliverable(ProcessId{0}, ProcessId{i}, 5, rng));
+  }
+}
+
+TEST(StillbornFailures, ExplicitSet) {
+  StillbornFailures model({ProcessId{2}, ProcessId{5}});
+  EXPECT_TRUE(model.alive(ProcessId{0}, 0));
+  EXPECT_FALSE(model.alive(ProcessId{2}, 0));
+  EXPECT_FALSE(model.alive(ProcessId{5}, 100));
+  EXPECT_EQ(model.failed_count(), 2u);
+}
+
+TEST(StillbornFailures, DeliverableFollowsTargetAliveness) {
+  StillbornFailures model({ProcessId{1}});
+  util::Rng rng(1);
+  EXPECT_FALSE(model.deliverable(ProcessId{0}, ProcessId{1}, 0, rng));
+  EXPECT_TRUE(model.deliverable(ProcessId{1}, ProcessId{0}, 0, rng));
+}
+
+TEST(StillbornFailures, SampleMatchesFraction) {
+  util::Rng rng(99);
+  const auto processes = make_processes(10000);
+  const auto model = StillbornFailures::sample(processes, 0.7, rng);
+  EXPECT_NEAR(static_cast<double>(model.failed_count()), 3000.0, 150.0);
+}
+
+TEST(StillbornFailures, SampleExtremes) {
+  util::Rng rng(7);
+  const auto processes = make_processes(100);
+  EXPECT_EQ(StillbornFailures::sample(processes, 1.0, rng).failed_count(), 0u);
+  EXPECT_EQ(StillbornFailures::sample(processes, 0.0, rng).failed_count(),
+            100u);
+}
+
+TEST(DynamicPerceptionFailures, AlwaysAliveButDropsDeliveries) {
+  DynamicPerceptionFailures model(0.4);
+  util::Rng rng(3);
+  int delivered = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    EXPECT_TRUE(model.alive(ProcessId{1}, i));
+    if (model.deliverable(ProcessId{0}, ProcessId{1}, 0, rng)) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / kTrials, 0.6, 0.02);
+}
+
+TEST(DynamicPerceptionFailures, ZeroFailureDeliversAll) {
+  DynamicPerceptionFailures model(0.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(model.deliverable(ProcessId{0}, ProcessId{1}, 0, rng));
+  }
+}
+
+TEST(ChurnFailures, IntervalSemantics) {
+  ChurnFailures model(3);
+  model.add_downtime(ProcessId{1}, {5, 10});
+  EXPECT_TRUE(model.alive(ProcessId{1}, 4));
+  EXPECT_FALSE(model.alive(ProcessId{1}, 5));   // inclusive start
+  EXPECT_FALSE(model.alive(ProcessId{1}, 9));
+  EXPECT_TRUE(model.alive(ProcessId{1}, 10));   // exclusive end
+  EXPECT_TRUE(model.alive(ProcessId{0}, 7));    // other processes unaffected
+}
+
+TEST(ChurnFailures, MultipleIntervals) {
+  ChurnFailures model(1);
+  model.add_downtime(ProcessId{0}, {20, 30});
+  model.add_downtime(ProcessId{0}, {5, 8});
+  EXPECT_TRUE(model.alive(ProcessId{0}, 0));
+  EXPECT_FALSE(model.alive(ProcessId{0}, 6));
+  EXPECT_TRUE(model.alive(ProcessId{0}, 15));
+  EXPECT_FALSE(model.alive(ProcessId{0}, 25));
+  EXPECT_TRUE(model.alive(ProcessId{0}, 30));
+}
+
+TEST(ChurnFailures, RejectsEmptyInterval) {
+  ChurnFailures model(1);
+  EXPECT_THROW(model.add_downtime(ProcessId{0}, {5, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(model.add_downtime(ProcessId{0}, {6, 5}),
+               std::invalid_argument);
+}
+
+TEST(ChurnFailures, SampleProducesOutages) {
+  util::Rng rng(11);
+  const auto model = ChurnFailures::sample(50, 100, 2, 10, rng);
+  // Every process should be down at some round.
+  int processes_with_downtime = 0;
+  for (std::uint32_t p = 0; p < 50; ++p) {
+    for (Round r = 0; r < 120; ++r) {
+      if (!model.alive(ProcessId{p}, r)) {
+        ++processes_with_downtime;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(processes_with_downtime, 50);
+}
+
+TEST(ChurnFailures, SampleZeroHorizonIsHarmless) {
+  util::Rng rng(13);
+  const auto model = ChurnFailures::sample(10, 0, 3, 5, rng);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(model.alive(ProcessId{p}, 0));
+  }
+}
+
+}  // namespace
+}  // namespace dam::sim

@@ -1,0 +1,75 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dam::sim {
+namespace {
+
+using topics::TopicId;
+
+TEST(Metrics, GroupCountersStartAtZero) {
+  Metrics metrics;
+  const auto& counters =
+      static_cast<const Metrics&>(metrics).group(TopicId{3});
+  EXPECT_EQ(counters.intra_sent, 0u);
+  EXPECT_EQ(counters.inter_sent, 0u);
+  EXPECT_EQ(counters.delivered, 0u);
+}
+
+TEST(Metrics, CountsPerGroupIndependently) {
+  Metrics metrics;
+  metrics.group(TopicId{1}).intra_sent += 5;
+  metrics.group(TopicId{2}).intra_sent += 7;
+  metrics.group(TopicId{1}).inter_sent += 2;
+  const Metrics& view = metrics;
+  EXPECT_EQ(view.group(TopicId{1}).intra_sent, 5u);
+  EXPECT_EQ(view.group(TopicId{2}).intra_sent, 7u);
+  EXPECT_EQ(view.group(TopicId{1}).inter_sent, 2u);
+  EXPECT_EQ(view.group(TopicId{2}).inter_sent, 0u);
+}
+
+TEST(Metrics, TotalsAggregateAcrossGroups) {
+  Metrics metrics;
+  metrics.group(TopicId{1}).intra_sent = 10;
+  metrics.group(TopicId{1}).inter_sent = 1;
+  metrics.group(TopicId{2}).intra_sent = 20;
+  metrics.group(TopicId{1}).control_sent = 4;
+  metrics.group(TopicId{2}).delivered = 6;
+  EXPECT_EQ(metrics.total_event_messages(), 31u);
+  EXPECT_EQ(metrics.total_control_messages(), 4u);
+  EXPECT_EQ(metrics.total_deliveries(), 6u);
+}
+
+TEST(Metrics, ParasiteCounter) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.parasite_deliveries(), 0u);
+  metrics.count_parasite_delivery();
+  metrics.count_parasite_delivery();
+  EXPECT_EQ(metrics.parasite_deliveries(), 2u);
+}
+
+TEST(Metrics, InfectionsPerRoundGrowsAsNeeded) {
+  Metrics metrics;
+  metrics.note_infection(0);
+  metrics.note_infection(3);
+  metrics.note_infection(3);
+  const auto& per_round = metrics.infections_per_round();
+  ASSERT_EQ(per_round.size(), 4u);
+  EXPECT_EQ(per_round[0], 1u);
+  EXPECT_EQ(per_round[1], 0u);
+  EXPECT_EQ(per_round[3], 2u);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics metrics;
+  metrics.group(TopicId{1}).intra_sent = 5;
+  metrics.count_parasite_delivery();
+  metrics.note_infection(2);
+  metrics.reset();
+  EXPECT_EQ(metrics.total_event_messages(), 0u);
+  EXPECT_EQ(metrics.parasite_deliveries(), 0u);
+  EXPECT_TRUE(metrics.infections_per_round().empty());
+}
+
+}  // namespace
+}  // namespace dam::sim

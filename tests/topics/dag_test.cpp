@@ -1,0 +1,120 @@
+#include "topics/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dam::topics {
+namespace {
+
+/// Diamond: B -> {M1, M2} -> A.
+struct Diamond {
+  TopicDag dag;
+  DagTopicId a, m1, m2, b;
+
+  Diamond() {
+    a = dag.add_topic("A");
+    m1 = dag.add_topic("M1");
+    m2 = dag.add_topic("M2");
+    b = dag.add_topic("B");
+    dag.add_super(m1, a);
+    dag.add_super(m2, a);
+    dag.add_super(b, m1);
+    dag.add_super(b, m2);
+  }
+};
+
+TEST(TopicDag, AddAndFind) {
+  TopicDag dag;
+  const auto x = dag.add_topic("x");
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_EQ(dag.name(x), "x");
+  ASSERT_TRUE(dag.find("x").has_value());
+  EXPECT_EQ(*dag.find("x"), x);
+  EXPECT_FALSE(dag.find("y").has_value());
+}
+
+TEST(TopicDag, RejectsDuplicateAndEmptyNames) {
+  TopicDag dag;
+  dag.add_topic("x");
+  EXPECT_THROW(dag.add_topic("x"), std::invalid_argument);
+  EXPECT_THROW(dag.add_topic(""), std::invalid_argument);
+}
+
+TEST(TopicDag, MultipleSupers) {
+  Diamond d;
+  const auto& supers = d.dag.supers(d.b);
+  ASSERT_EQ(supers.size(), 2u);
+  EXPECT_EQ(supers[0], d.m1);
+  EXPECT_EQ(supers[1], d.m2);
+  EXPECT_TRUE(d.dag.is_root(d.a));
+  EXPECT_FALSE(d.dag.is_root(d.b));
+  ASSERT_EQ(d.dag.subs(d.a).size(), 2u);
+}
+
+TEST(TopicDag, IncludesAcrossDiamond) {
+  Diamond d;
+  EXPECT_TRUE(d.dag.includes(d.a, d.b));   // via either path
+  EXPECT_TRUE(d.dag.includes(d.m1, d.b));
+  EXPECT_TRUE(d.dag.includes(d.m2, d.b));
+  EXPECT_TRUE(d.dag.includes(d.b, d.b));   // reflexive
+  EXPECT_FALSE(d.dag.includes(d.b, d.a));  // not downward
+  EXPECT_FALSE(d.dag.includes(d.m1, d.m2));  // siblings unrelated
+}
+
+TEST(TopicDag, AncestorsDeduplicated) {
+  Diamond d;
+  const auto closure = d.dag.ancestors(d.b);
+  ASSERT_EQ(closure.size(), 3u);  // m1, m2, a — a counted ONCE
+  EXPECT_EQ(std::count(closure.begin(), closure.end(), d.a), 1);
+  EXPECT_TRUE(d.dag.ancestors(d.a).empty());
+}
+
+TEST(TopicDag, RejectsSelfLoopDuplicateEdgeAndCycle) {
+  Diamond d;
+  EXPECT_THROW(d.dag.add_super(d.b, d.b), std::invalid_argument);
+  EXPECT_THROW(d.dag.add_super(d.b, d.m1), std::invalid_argument);  // dup
+  // a -> b edge would close the cycle b -> m1 -> a -> b.
+  EXPECT_THROW(d.dag.add_super(d.a, d.b), std::invalid_argument);
+}
+
+TEST(TopicDag, Height) {
+  Diamond d;
+  EXPECT_EQ(d.dag.height(d.a), 0u);
+  EXPECT_EQ(d.dag.height(d.m1), 1u);
+  EXPECT_EQ(d.dag.height(d.b), 2u);
+}
+
+TEST(TopicDag, HeightTakesLongestChain) {
+  TopicDag dag;
+  const auto a = dag.add_topic("a");
+  const auto b = dag.add_topic("b");
+  const auto c = dag.add_topic("c");
+  const auto x = dag.add_topic("x");
+  dag.add_super(b, a);
+  dag.add_super(c, b);  // chain of length 2
+  dag.add_super(x, a);
+  dag.add_super(c, x);  // alternative shorter path would give 2 as well
+  EXPECT_EQ(dag.height(c), 2u);
+}
+
+TEST(TopicDag, UnknownIdsThrow) {
+  TopicDag dag;
+  dag.add_topic("only");
+  EXPECT_THROW((void)dag.supers(DagTopicId{5}), std::out_of_range);
+  EXPECT_THROW(dag.add_super(DagTopicId{0}, DagTopicId{5}),
+               std::out_of_range);
+  EXPECT_THROW((void)dag.includes(DagTopicId{5}, DagTopicId{0}),
+               std::out_of_range);
+}
+
+TEST(TopicDag, AllReturnsInsertionOrder) {
+  Diamond d;
+  const auto all = d.dag.all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0], d.a);
+  EXPECT_EQ(all[3], d.b);
+}
+
+}  // namespace
+}  // namespace dam::topics

@@ -1,0 +1,145 @@
+#include "topics/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dam::topics {
+namespace {
+
+TEST(TopicHierarchy, StartsWithRoot) {
+  TopicHierarchy hierarchy;
+  EXPECT_EQ(hierarchy.size(), 1u);
+  EXPECT_TRUE(hierarchy.is_root(kRootTopic));
+  EXPECT_EQ(hierarchy.name(kRootTopic), ".");
+  EXPECT_EQ(hierarchy.depth(kRootTopic), 0u);
+}
+
+TEST(TopicHierarchy, AddInternsAncestors) {
+  TopicHierarchy hierarchy;
+  const TopicId deep = hierarchy.add(".a.b.c");
+  EXPECT_EQ(hierarchy.size(), 4u);  // root, .a, .a.b, .a.b.c
+  EXPECT_TRUE(hierarchy.find(".a").has_value());
+  EXPECT_TRUE(hierarchy.find(".a.b").has_value());
+  EXPECT_EQ(hierarchy.depth(deep), 3u);
+}
+
+TEST(TopicHierarchy, AddIsIdempotent) {
+  TopicHierarchy hierarchy;
+  const TopicId first = hierarchy.add(".x.y");
+  const TopicId second = hierarchy.add(".x.y");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(hierarchy.size(), 3u);
+}
+
+TEST(TopicHierarchy, AddRejectsBadSyntax) {
+  TopicHierarchy hierarchy;
+  EXPECT_THROW(hierarchy.add("no-dot"), std::invalid_argument);
+  EXPECT_THROW(hierarchy.add(".bad..seg"), std::invalid_argument);
+}
+
+TEST(TopicHierarchy, SuperRelations) {
+  TopicHierarchy hierarchy;
+  const TopicId abc = hierarchy.add(".a.b.c");
+  const TopicId ab = *hierarchy.find(".a.b");
+  const TopicId a = *hierarchy.find(".a");
+  EXPECT_EQ(hierarchy.super(abc), ab);
+  EXPECT_EQ(hierarchy.super(ab), a);
+  EXPECT_EQ(hierarchy.super(a), kRootTopic);
+  EXPECT_THROW(hierarchy.super(kRootTopic), std::logic_error);
+}
+
+TEST(TopicHierarchy, IncludesMatrix) {
+  TopicHierarchy hierarchy;
+  const TopicId ab = hierarchy.add(".a.b");
+  const TopicId ac = hierarchy.add(".a.c");
+  const TopicId a = *hierarchy.find(".a");
+  EXPECT_TRUE(hierarchy.includes(kRootTopic, ab));
+  EXPECT_TRUE(hierarchy.includes(a, ab));
+  EXPECT_TRUE(hierarchy.includes(a, ac));
+  EXPECT_TRUE(hierarchy.includes(ab, ab));
+  EXPECT_FALSE(hierarchy.includes(ab, ac));
+  EXPECT_FALSE(hierarchy.includes(ab, a));
+  EXPECT_FALSE(hierarchy.includes(ab, kRootTopic));
+}
+
+TEST(TopicHierarchy, Children) {
+  TopicHierarchy hierarchy;
+  const TopicId ab = hierarchy.add(".a.b");
+  const TopicId ac = hierarchy.add(".a.c");
+  const TopicId a = *hierarchy.find(".a");
+  const auto& kids = hierarchy.children(a);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], ab);
+  EXPECT_EQ(kids[1], ac);
+  EXPECT_TRUE(hierarchy.children(ab).empty());
+  ASSERT_EQ(hierarchy.children(kRootTopic).size(), 1u);
+  EXPECT_EQ(hierarchy.children(kRootTopic)[0], a);
+}
+
+TEST(TopicHierarchy, ChainToRoot) {
+  TopicHierarchy hierarchy;
+  const TopicId abc = hierarchy.add(".a.b.c");
+  const auto chain = hierarchy.chain_to_root(abc);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], abc);
+  EXPECT_EQ(hierarchy.name(chain[1]), ".a.b");
+  EXPECT_EQ(hierarchy.name(chain[2]), ".a");
+  EXPECT_EQ(chain[3], kRootTopic);
+
+  const auto root_chain = hierarchy.chain_to_root(kRootTopic);
+  ASSERT_EQ(root_chain.size(), 1u);
+  EXPECT_EQ(root_chain[0], kRootTopic);
+}
+
+TEST(TopicHierarchy, LowestCommonAncestor) {
+  TopicHierarchy hierarchy;
+  const TopicId abc = hierarchy.add(".a.b.c");
+  const TopicId abd = hierarchy.add(".a.b.d");
+  const TopicId ax = hierarchy.add(".a.x");
+  const TopicId other = hierarchy.add(".other");
+  const TopicId ab = *hierarchy.find(".a.b");
+  const TopicId a = *hierarchy.find(".a");
+  EXPECT_EQ(hierarchy.lowest_common_ancestor(abc, abd), ab);
+  EXPECT_EQ(hierarchy.lowest_common_ancestor(abc, ax), a);
+  EXPECT_EQ(hierarchy.lowest_common_ancestor(abc, other), kRootTopic);
+  EXPECT_EQ(hierarchy.lowest_common_ancestor(abc, abc), abc);
+  EXPECT_EQ(hierarchy.lowest_common_ancestor(abc, ab), ab);
+}
+
+TEST(TopicHierarchy, AllAndMaxDepth) {
+  TopicHierarchy hierarchy;
+  hierarchy.add(".a.b.c");
+  hierarchy.add(".z");
+  const auto all = hierarchy.all();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0], kRootTopic);
+  EXPECT_EQ(hierarchy.max_depth(), 3u);
+}
+
+TEST(TopicHierarchy, FindMissingReturnsNullopt) {
+  TopicHierarchy hierarchy;
+  EXPECT_FALSE(hierarchy.find(".missing").has_value());
+  EXPECT_TRUE(hierarchy.find(".").has_value());
+}
+
+TEST(MakeLinearHierarchy, BuildsChain) {
+  TopicHierarchy hierarchy;
+  const auto levels = make_linear_hierarchy(hierarchy, 3);
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], kRootTopic);
+  EXPECT_EQ(hierarchy.name(levels[1]), ".t1");
+  EXPECT_EQ(hierarchy.name(levels[2]), ".t1.t2");
+  EXPECT_EQ(hierarchy.name(levels[3]), ".t1.t2.t3");
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_EQ(hierarchy.super(levels[i]), levels[i - 1]);
+  }
+}
+
+TEST(MakeLinearHierarchy, ZeroLevelsIsJustRoot) {
+  TopicHierarchy hierarchy;
+  const auto levels = make_linear_hierarchy(hierarchy, 0);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0], kRootTopic);
+}
+
+}  // namespace
+}  // namespace dam::topics

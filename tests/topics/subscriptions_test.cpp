@@ -1,0 +1,118 @@
+#include "topics/subscriptions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dam::topics {
+namespace {
+
+class SubscriptionsTest : public ::testing::Test {
+ protected:
+  SubscriptionsTest() : registry_(hierarchy_) {
+    t1_ = hierarchy_.add(".t1");
+    t2_ = hierarchy_.add(".t1.t2");
+    side_ = hierarchy_.add(".side");
+  }
+
+  TopicHierarchy hierarchy_;
+  SubscriptionRegistry registry_;
+  TopicId t1_{}, t2_{}, side_{};
+};
+
+TEST_F(SubscriptionsTest, AddAssignsSequentialIds) {
+  const ProcessId p0 = registry_.add_process(t1_);
+  const ProcessId p1 = registry_.add_process(t2_);
+  EXPECT_EQ(p0.value, 0u);
+  EXPECT_EQ(p1.value, 1u);
+  EXPECT_EQ(registry_.process_count(), 2u);
+  EXPECT_EQ(registry_.topic_of(p0), t1_);
+  EXPECT_EQ(registry_.topic_of(p1), t2_);
+}
+
+TEST_F(SubscriptionsTest, GroupsTrackMembership) {
+  const ProcessId a = registry_.add_process(t1_);
+  const ProcessId b = registry_.add_process(t1_);
+  registry_.add_process(t2_);
+  const auto& group = registry_.group(t1_);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0], a);
+  EXPECT_EQ(group[1], b);
+  EXPECT_EQ(registry_.group_size(t2_), 1u);
+  EXPECT_EQ(registry_.group_size(side_), 0u);
+  EXPECT_TRUE(registry_.group(kRootTopic).empty());
+}
+
+TEST_F(SubscriptionsTest, AddRejectsUnknownTopic) {
+  EXPECT_THROW(registry_.add_process(TopicId{999}), std::out_of_range);
+}
+
+TEST_F(SubscriptionsTest, InterestedInFollowsInclusion) {
+  const ProcessId root_sub = registry_.add_process(kRootTopic);
+  const ProcessId t1_sub = registry_.add_process(t1_);
+  const ProcessId t2_sub = registry_.add_process(t2_);
+  const ProcessId side_sub = registry_.add_process(side_);
+
+  // Event of t2: interesting to t2, t1 and root subscribers only.
+  EXPECT_TRUE(registry_.interested_in(root_sub, t2_));
+  EXPECT_TRUE(registry_.interested_in(t1_sub, t2_));
+  EXPECT_TRUE(registry_.interested_in(t2_sub, t2_));
+  EXPECT_FALSE(registry_.interested_in(side_sub, t2_));
+
+  // Event of t1: NOT interesting to the t2 subscriber.
+  EXPECT_FALSE(registry_.interested_in(t2_sub, t1_));
+  EXPECT_TRUE(registry_.interested_in(t1_sub, t1_));
+  EXPECT_TRUE(registry_.interested_in(root_sub, t1_));
+}
+
+TEST_F(SubscriptionsTest, InterestedSetCollectsAncestorGroups) {
+  const ProcessId root_sub = registry_.add_process(kRootTopic);
+  const ProcessId t1_sub = registry_.add_process(t1_);
+  const ProcessId t2_sub = registry_.add_process(t2_);
+  registry_.add_process(side_);
+
+  const auto set = registry_.interested_set(t2_);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_TRUE(std::find(set.begin(), set.end(), root_sub) != set.end());
+  EXPECT_TRUE(std::find(set.begin(), set.end(), t1_sub) != set.end());
+  EXPECT_TRUE(std::find(set.begin(), set.end(), t2_sub) != set.end());
+}
+
+TEST_F(SubscriptionsTest, NearestNonemptySupergroupSkipsEmptyLevels) {
+  // Nobody subscribes to t1; t2's nearest non-empty supergroup should be
+  // the root once someone subscribes there.
+  registry_.add_process(t2_);
+  EXPECT_FALSE(registry_.nearest_nonempty_supergroup(t2_).has_value());
+  registry_.add_process(kRootTopic);
+  auto super = registry_.nearest_nonempty_supergroup(t2_);
+  ASSERT_TRUE(super.has_value());
+  EXPECT_EQ(*super, kRootTopic);
+  // Now someone joins t1 — it becomes the nearest.
+  registry_.add_process(t1_);
+  super = registry_.nearest_nonempty_supergroup(t2_);
+  ASSERT_TRUE(super.has_value());
+  EXPECT_EQ(*super, t1_);
+}
+
+TEST_F(SubscriptionsTest, NearestNonemptySupergroupOfRootIsNull) {
+  registry_.add_process(kRootTopic);
+  EXPECT_FALSE(registry_.nearest_nonempty_supergroup(kRootTopic).has_value());
+}
+
+TEST_F(SubscriptionsTest, ResubscribeMovesGroups) {
+  const ProcessId p = registry_.add_process(t1_);
+  registry_.resubscribe(p, t2_);
+  EXPECT_EQ(registry_.topic_of(p), t2_);
+  EXPECT_TRUE(registry_.group(t1_).empty());
+  ASSERT_EQ(registry_.group(t2_).size(), 1u);
+  EXPECT_EQ(registry_.group(t2_)[0], p);
+}
+
+TEST_F(SubscriptionsTest, ResubscribeSameTopicIsNoop) {
+  const ProcessId p = registry_.add_process(t1_);
+  registry_.resubscribe(p, t1_);
+  EXPECT_EQ(registry_.group(t1_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dam::topics

@@ -1,0 +1,126 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dam::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("test tool");
+  parser.add_option("seed", "1", "random seed");
+  parser.add_option("alive", "0.85", "alive fraction");
+  parser.add_option("sizes", "10,100", "group sizes");
+  parser.add_option("name", "default", "a string");
+  parser.add_flag("verbose", "chatty output");
+  return parser;
+}
+
+void parse(ArgParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  auto parser = make_parser();
+  parse(parser, {});
+  EXPECT_EQ(parser.integer("seed"), 1);
+  EXPECT_DOUBLE_EQ(parser.real("alive"), 0.85);
+  EXPECT_EQ(parser.str("name"), "default");
+  EXPECT_FALSE(parser.flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  auto parser = make_parser();
+  parse(parser, {"--seed=42", "--alive=0.5", "--name=hello"});
+  EXPECT_EQ(parser.integer("seed"), 42);
+  EXPECT_DOUBLE_EQ(parser.real("alive"), 0.5);
+  EXPECT_EQ(parser.str("name"), "hello");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  auto parser = make_parser();
+  parse(parser, {"--seed", "7", "--name", "x y"});
+  EXPECT_EQ(parser.integer("seed"), 7);
+  EXPECT_EQ(parser.str("name"), "x y");
+}
+
+TEST(ArgParser, FlagsAndPositionals) {
+  auto parser = make_parser();
+  parse(parser, {"--verbose", "input.txt", "more"});
+  EXPECT_TRUE(parser.flag("verbose"));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+}
+
+TEST(ArgParser, DoubleDashEndsOptions) {
+  auto parser = make_parser();
+  parse(parser, {"--", "--seed=9"});
+  EXPECT_EQ(parser.integer("seed"), 1);  // default: not parsed as option
+  ASSERT_EQ(parser.positional().size(), 1u);
+  EXPECT_EQ(parser.positional()[0], "--seed=9");
+}
+
+TEST(ArgParser, SizeList) {
+  auto parser = make_parser();
+  parse(parser, {"--sizes=1,22,333"});
+  EXPECT_EQ(parser.size_list("sizes"),
+            (std::vector<std::size_t>{1, 22, 333}));
+}
+
+TEST(ArgParser, HelpRequested) {
+  auto parser = make_parser();
+  parse(parser, {"--help"});
+  EXPECT_TRUE(parser.help_requested());
+  const auto help = parser.help_text();
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("random seed"), std::string::npos);
+}
+
+TEST(ArgParser, Errors) {
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--unknown=1"}), ArgError);
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--seed"}), ArgError);  // missing value
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--verbose=1"}), ArgError);  // flag w/ value
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {"--seed=notanumber"});
+    EXPECT_THROW((void)parser.integer("seed"), ArgError);
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {"--alive=xyz"});
+    EXPECT_THROW((void)parser.real("alive"), ArgError);
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {"--sizes=1,,3"});
+    EXPECT_THROW((void)parser.size_list("sizes"), ArgError);
+  }
+  {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"-x"}), ArgError);  // short options
+  }
+  {
+    ArgParser parser("dup");
+    parser.add_option("a", "1", "");
+    EXPECT_THROW(parser.add_flag("a", ""), ArgError);
+  }
+  {
+    auto parser = make_parser();
+    parse(parser, {});
+    EXPECT_THROW((void)parser.flag("seed"), ArgError);    // not a flag
+    EXPECT_THROW((void)parser.str("verbose"), ArgError);  // not an option
+    EXPECT_THROW((void)parser.str("nope"), ArgError);     // unknown
+  }
+}
+
+}  // namespace
+}  // namespace dam::util

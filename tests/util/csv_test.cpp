@@ -1,0 +1,94 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dam::util {
+namespace {
+
+TEST(CsvWriter, PlainRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  csv.row(1, 2.5, "x");
+  EXPECT_EQ(out.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvWriter, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("hello, world", "plain");
+  EXPECT_EQ(out.str(), "\"hello, world\",plain\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("say \"hi\"");
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("line1\nline2");
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/dam_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"x", "y"});
+    csv.row(1, 2);
+  }
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "x,y\n1,2\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+TEST(ConsoleTable, AlignsColumns) {
+  ConsoleTable table({"name", "v"});
+  table.row("x", 1);
+  table.row("longer", 22);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(ConsoleTable, RowCount) {
+  ConsoleTable table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row(1);
+  table.row(2);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(ConsoleTable, ShortRowsPadded) {
+  ConsoleTable table({"a", "b"});
+  table.row_strings({"only-a"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("only-a"), std::string::npos);
+}
+
+TEST(Fixed, FormatsWithDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace dam::util

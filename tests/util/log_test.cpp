@@ -1,0 +1,68 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dam::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view message) {
+          captured_.emplace_back(level, std::string(message));
+        });
+  }
+
+  void TearDown() override {
+    Logger::instance().set_level(LogLevel::kOff);
+    Logger::instance().set_sink(nullptr);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, OffByDefaultSuppressesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("should not appear");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  log_debug("debug");
+  log_info("info");
+  log_warn("warn");
+  log_error("error");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "warn");
+  EXPECT_EQ(captured_[1].second, "error");
+}
+
+TEST_F(LogTest, MessageComposition) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  log_info("x=", 42, " y=", 2.5);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=42 y=2.5");
+}
+
+TEST_F(LogTest, EnabledReflectsLevel) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kTrace));
+}
+
+TEST(LogLevelNames, ToString) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace dam::util

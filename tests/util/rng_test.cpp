@@ -1,0 +1,215 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dam::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng());
+  rng.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), first[i]);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(19);
+  constexpr std::uint64_t kBound = 8;
+  constexpr int kSamples = 80000;
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < kSamples; ++i) ++histogram[rng.below(kBound)];
+  for (const auto& [value, count] : histogram) {
+    EXPECT_NEAR(static_cast<double>(count), kSamples / kBound,
+                kSamples / kBound * 0.1)
+        << "value " << value;
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = rng.between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  std::vector<int> pool(100);
+  for (int i = 0; i < 100; ++i) pool[i] = i;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picked = rng.sample(pool, 10);
+    ASSERT_EQ(picked.size(), 10u);
+    std::set<int> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), 10u);
+  }
+}
+
+TEST(Rng, SampleMoreThanPoolReturnsWholePool) {
+  Rng rng(31);
+  std::vector<int> pool{1, 2, 3};
+  const auto picked = rng.sample(pool, 10);
+  EXPECT_EQ(picked.size(), 3u);
+  std::set<int> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique, (std::set<int>{1, 2, 3}));
+}
+
+TEST(Rng, SampleZeroReturnsEmpty) {
+  Rng rng(37);
+  std::vector<int> pool{1, 2, 3};
+  EXPECT_TRUE(rng.sample(pool, 0).empty());
+}
+
+TEST(Rng, SampleFromEmptyPool) {
+  Rng rng(38);
+  std::vector<int> pool;
+  EXPECT_TRUE(rng.sample(pool, 5).empty());
+}
+
+TEST(Rng, SampleIsUniformOverElements) {
+  // Each of 10 elements should appear in a 3-subset with probability 0.3.
+  Rng rng(41);
+  std::vector<int> pool(10);
+  for (int i = 0; i < 10; ++i) pool[i] = i;
+  std::map<int, int> appearances;
+  constexpr int kTrials = 30000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    for (int x : rng.sample(pool, 3)) ++appearances[x];
+  }
+  for (const auto& [value, count] : appearances) {
+    EXPECT_NEAR(static_cast<double>(count) / kTrials, 0.3, 0.02)
+        << "element " << value;
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentFuture) {
+  Rng parent(55);
+  Rng child_before = parent.fork(1);
+  // Advancing the parent must not change what an identical fork yields.
+  Rng parent_copy(55);
+  for (int i = 0; i < 100; ++i) parent_copy();
+  // fork is computed from state at fork time; a fresh parent gives the
+  // same child.
+  Rng parent2(55);
+  Rng child2 = parent2.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_before(), child2());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng parent(60);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(71);
+  std::vector<int> items{1, 2, 2, 3, 4, 5, 5, 5};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted_original = items;
+  std::sort(sorted_original.begin(), sorted_original.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, sorted_original);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(73);
+  const std::vector<int> pool{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(pool));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace dam::util

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dam::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci95_halfwidth(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(42.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 42.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 42.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator left;
+  Accumulator right;
+  Accumulator all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(3.0);
+  Accumulator empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Accumulator, Ci95ShrinksWithSamples) {
+  Accumulator small;
+  Accumulator large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Samples, QuantilesOfKnownData) {
+  Samples samples;
+  for (int i = 1; i <= 100; ++i) samples.add(i);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), 100.0);
+  EXPECT_NEAR(samples.median(), 50.5, 1e-9);
+  EXPECT_NEAR(samples.quantile(0.25), 25.75, 1e-9);
+}
+
+TEST(Samples, SingleElementQuantiles) {
+  Samples samples;
+  samples.add(7.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), 7.0);
+}
+
+TEST(Samples, MeanAndStddev) {
+  Samples samples;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) samples.add(x);
+  EXPECT_DOUBLE_EQ(samples.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(samples.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(samples.min(), 2.0);
+  EXPECT_DOUBLE_EQ(samples.max(), 9.0);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples samples;
+  EXPECT_TRUE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(samples.stddev(), 0.0);
+}
+
+TEST(Proportion, EstimateAndBounds) {
+  Proportion p;
+  for (int i = 0; i < 80; ++i) p.add(true);
+  for (int i = 0; i < 20; ++i) p.add(false);
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.8);
+  EXPECT_LT(p.wilson_low(), 0.8);
+  EXPECT_GT(p.wilson_high(), 0.8);
+  EXPECT_GE(p.wilson_low(), 0.0);
+  EXPECT_LE(p.wilson_high(), 1.0);
+}
+
+TEST(Proportion, ZeroTrials) {
+  Proportion p;
+  EXPECT_DOUBLE_EQ(p.estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(p.wilson_low(), 0.0);
+  EXPECT_DOUBLE_EQ(p.wilson_high(), 1.0);
+}
+
+TEST(Proportion, AllSuccessesBoundBelowOne) {
+  Proportion p;
+  for (int i = 0; i < 50; ++i) p.add(true);
+  EXPECT_DOUBLE_EQ(p.estimate(), 1.0);
+  // Wilson lower bound should be high but strictly below 1.
+  EXPECT_GT(p.wilson_low(), 0.9);
+  EXPECT_LT(p.wilson_low(), 1.0);
+  EXPECT_DOUBLE_EQ(p.wilson_high(), 1.0);
+}
+
+TEST(Proportion, IntervalNarrowsWithTrials) {
+  Proportion few;
+  Proportion many;
+  for (int i = 0; i < 10; ++i) few.add(i < 5);
+  for (int i = 0; i < 1000; ++i) many.add(i < 500);
+  EXPECT_GT(few.wilson_high() - few.wilson_low(),
+            many.wilson_high() - many.wilson_low());
+}
+
+}  // namespace
+}  // namespace dam::util
