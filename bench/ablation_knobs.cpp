@@ -3,43 +3,26 @@
 // The abstract's headline trade-off: the application can tune, per topic,
 // how many intergroup messages it pays for how much intergroup-hop
 // reliability. Sweeps one knob at a time around the paper's defaults in a
-// lossy setting where the trade-off is visible.
+// lossy setting where the trade-off is visible. Each knob point is an
+// ad-hoc Scenario (same skeleton as the "ablation-lean" /
+// "ablation-aggressive" presets) run through the unified engine.
 #include <iostream>
 
 #include "analysis/formulas.hpp"
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace {
 
-struct KnobResult {
-  double inter_sent;
-  double t0_fraction;
-  double pit_predicted;
-};
-
-KnobResult run_with(dam::core::TopicParams params, std::uint64_t seed_base) {
+dam::sim::Scenario knob_scenario(const dam::core::TopicParams& params,
+                                 std::uint64_t seed_base) {
   using namespace dam;
-  params.psucc = 0.5;  // lossy channels make the knob effects visible
-  util::Accumulator inter;
-  util::Accumulator t0;
-  constexpr int kRuns = 250;
-  for (int run = 0; run < kRuns; ++run) {
-    core::StaticSimConfig config;
-    config.group_sizes = {10, 100, 500};
-    config.params = {params};
-    config.seed = seed_base + static_cast<std::uint64_t>(run) * 71;
-    const auto result = core::run_static_simulation(config);
-    inter.add(static_cast<double>(result.groups[2].inter_sent +
-                                  result.groups[1].inter_sent));
-    t0.add(result.groups[0].delivery_ratio());
-  }
-  const double hop = analysis::pit_binomial(500, params.psel(500), 1.0,
-                                            params.pa(), params.z,
-                                            params.psucc);
-  return {inter.mean(), t0.mean(), hop};
+  sim::Scenario scenario = sim::make_linear_scenario(
+      "knob-point", "one (g,a,z) setting of the knob ablation",
+      {10, 100, 500});
+  scenario.params = {params};
+  scenario.runs = 250;
+  scenario.base_seed = seed_base;
+  return scenario;
 }
 
 }  // namespace
@@ -59,13 +42,19 @@ int main(int argc, char** argv) {
 
   auto emit = [&](const char* knob, core::TopicParams params,
                   std::uint64_t seed) {
-    const auto result = run_with(params, seed);
+    params.psucc = 0.5;  // lossy channels make the knob effects visible —
+                         // both the simulation and the pit prediction use it
+    const auto points = sim::run_scenario(knob_scenario(params, seed));
+    const sim::ScenarioPoint& point = points.front();
+    const double inter = point.groups[2].inter_sent.mean() +
+                         point.groups[1].inter_sent.mean();
+    const double t0_fraction = point.groups[0].delivery_ratio.mean();
+    const double pit = analysis::pit_binomial(
+        500, params.psel(500), 1.0, params.pa(), params.z, params.psucc);
     table.row(knob, util::fixed(params.g, 0), util::fixed(params.a, 0),
-              params.z, util::fixed(result.inter_sent, 2),
-              util::fixed(result.t0_fraction, 3),
-              util::fixed(result.pit_predicted, 3));
-    csv.row(knob, params.g, params.a, params.z, result.inter_sent,
-            result.t0_fraction, result.pit_predicted);
+              params.z, util::fixed(inter, 2), util::fixed(t0_fraction, 3),
+              util::fixed(pit, 3));
+    csv.row(knob, params.g, params.a, params.z, inter, t0_fraction, pit);
   };
 
   // Sweep g (election rate): more links, more messages, better hops.

@@ -2,15 +2,24 @@
 //
 // Every bench prints (a) a paper-style aligned table to stdout and (b), if
 // a path is given as argv[1], the same series as CSV for plotting.
+//
+// Figure-style benches are thin wrappers over the scenario layer
+// (src/sim/scenario.hpp): they fetch a named preset from the registry (or
+// build an ad-hoc Scenario), run it through the unified frozen-table
+// engine, and print the shared report via run_scenario_bench below. Only
+// benches that exercise the dynamic message-passing system (bootstrap,
+// recovery, memory) or the closed-form analysis keep custom loops.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/scenario.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -39,6 +48,10 @@ class CsvSink {
 
   [[nodiscard]] bool enabled() const noexcept { return writer_ != nullptr; }
 
+  /// The underlying writer (nullptr when no path was given) — for helpers
+  /// that stream rows themselves, e.g. sim::print_scenario_report.
+  [[nodiscard]] util::CsvWriter* writer() noexcept { return writer_.get(); }
+
  private:
   std::unique_ptr<util::CsvWriter> writer_;
 };
@@ -47,6 +60,24 @@ inline void print_title(const std::string& title, const std::string& note) {
   std::cout << "\n=== " << title << " ===\n";
   if (!note.empty()) std::cout << note << "\n";
   std::cout << "\n";
+}
+
+/// Runs `scenario` through the unified engine and prints the shared
+/// per-group report (mirrored to the CSV sink when enabled).
+inline void run_scenario_bench(const sim::Scenario& scenario, CsvSink& csv) {
+  const auto points = sim::run_scenario(scenario);
+  sim::print_scenario_report(scenario, points, std::cout, csv.writer());
+}
+
+/// Fetches a registry preset by name; throws if the registry and the bench
+/// drifted apart (a bench wrapping a preset that was renamed is a bug).
+inline sim::Scenario preset_or_die(const std::string& name) {
+  const sim::Scenario* preset = sim::find_scenario(name);
+  if (preset == nullptr) {
+    throw std::runtime_error("bench: scenario preset '" + name +
+                             "' missing from the registry");
+  }
+  return *preset;
 }
 
 }  // namespace dam::bench

@@ -1,18 +1,16 @@
 // Ablation X4 — multiple supertopics (the conclusion's extension).
 //
-// Compares a linear chain A ⊃ M ⊃ B against a diamond (B has TWO direct
-// supertopics M1, M2, both included in A) at equal population. The paper
-// claims multiple inheritance "would not hamper the overall performance":
-// message complexity gains one intergroup leg per extra parent (a handful
-// of messages), memory gains one z-table, reliability at the top improves
-// (two independent upward paths), and duplicate suppression absorbs the
-// diamond's double arrivals.
+// Compares a linear chain A ⊃ M ⊃ B against the "dag-diamond" scenario
+// preset (B has TWO direct supertopics M1, M2, both included in A) at
+// equal population. The paper claims multiple inheritance "would not
+// hamper the overall performance": message complexity gains one intergroup
+// leg per extra parent (a handful of messages), memory gains one z-table,
+// reliability at the top improves (two independent upward paths), and
+// duplicate suppression absorbs the diamond's double arrivals.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/dag_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace dam;
@@ -22,78 +20,32 @@ int main(int argc, char** argv) {
       "equal populations (A=10, mid=100 total, B=1000); event published in\n"
       "B; psucc=0.6 so upward-path redundancy is visible");
 
-  core::TopicParams params;
-  params.psucc = 0.6;
+  sim::Scenario diamond = bench::preset_or_die("dag-diamond");
 
-  // Linear: A <- M <- B. Diamond: A <- M1 <- B, A <- M2 <- B.
-  topics::TopicDag linear;
-  const auto lin_a = linear.add_topic("A");
-  const auto lin_m = linear.add_topic("M");
-  const auto lin_b = linear.add_topic("B");
-  linear.add_super(lin_m, lin_a);
-  linear.add_super(lin_b, lin_m);
+  // The linear control: same population, one mid group, same knobs.
+  sim::Scenario linear = diamond;
+  linear.name = "dag-linear";
+  linear.summary = "Linear chain control for dag-diamond";
+  linear.topic_names = {"A", "M", "B"};
+  linear.super_edges = {{1, 0}, {2, 1}};
+  linear.group_sizes = {10, 100, 1000};
+  linear.publish_topic = 2;
 
-  topics::TopicDag diamond;
-  const auto dia_a = diamond.add_topic("A");
-  const auto dia_m1 = diamond.add_topic("M1");
-  const auto dia_m2 = diamond.add_topic("M2");
-  const auto dia_b = diamond.add_topic("B");
-  diamond.add_super(dia_m1, dia_a);
-  diamond.add_super(dia_m2, dia_a);
-  diamond.add_super(dia_b, dia_m1);
-  diamond.add_super(dia_b, dia_m2);
+  for (const sim::Scenario* scenario : {&linear, &diamond}) {
+    std::cout << "--- " << scenario->name << " ---\n";
+    bench::run_scenario_bench(*scenario, csv);
+    const auto dag = scenario->build_dag();
+    const topics::DagTopicId bottom{scenario->publish_topic};
+    std::cout << "B-member memory (entries): "
+              << util::fixed(core::DagRunResult::memory_per_process(
+                                 dag, bottom, scenario->params.front(),
+                                 scenario->group_sizes[bottom.value]),
+                             1)
+              << "\n\n";
+  }
 
-  constexpr int kRuns = 200;
-  util::ConsoleTable table({"topology", "total msgs", "inter msgs",
-                            "A delivered frac", "P(all A)", "dup deliveries",
-                            "B-member memory"});
-  csv.header({"topology", "total", "inter", "a_fraction", "a_all", "dups",
-              "memory"});
-
-  auto run = [&](const topics::TopicDag& dag,
-                 std::vector<std::size_t> sizes, topics::DagTopicId publish,
-                 topics::DagTopicId top, const char* name) {
-    util::Accumulator total;
-    util::Accumulator inter;
-    util::Accumulator top_fraction;
-    util::Proportion top_all;
-    util::Accumulator dups;
-    for (int run_index = 0; run_index < kRuns; ++run_index) {
-      core::DagSimConfig config;
-      config.dag = &dag;
-      config.group_sizes = sizes;
-      config.params = params;
-      config.publish_topic = publish;
-      config.seed = 0xD1A + static_cast<std::uint64_t>(run_index) * 83;
-      const auto result = core::run_dag_simulation(config);
-      total.add(static_cast<double>(result.total_messages));
-      double inter_sum = 0.0;
-      double dup_sum = 0.0;
-      for (const auto& group : result.groups) {
-        inter_sum += static_cast<double>(group.inter_sent);
-        dup_sum += static_cast<double>(group.duplicate_deliveries);
-      }
-      inter.add(inter_sum);
-      dups.add(dup_sum);
-      top_fraction.add(result.groups[top.value].delivery_ratio());
-      top_all.add(result.groups[top.value].all_alive_delivered);
-    }
-    const double memory = core::DagRunResult::memory_per_process(
-        dag, publish, params, sizes[publish.value]);
-    table.row(name, util::fixed(total.mean(), 0), util::fixed(inter.mean(), 1),
-              util::fixed(top_fraction.mean(), 3),
-              util::fixed(top_all.estimate(), 3), util::fixed(dups.mean(), 1),
-              util::fixed(memory, 1));
-    csv.row(name, total.mean(), inter.mean(), top_fraction.mean(),
-            top_all.estimate(), dups.mean(), memory);
-  };
-
-  run(linear, {10, 100, 1000}, lin_b, lin_a, "linear chain");
-  run(diamond, {10, 50, 50, 1000}, dia_b, dia_a, "diamond (2 supers)");
-
-  table.print(std::cout);
   std::cout
-      << "\nexpected: the diamond costs a few extra intergroup messages (one\n"
+      << "expected: the diamond costs a few extra intergroup messages (one\n"
          "independent election per parent) and z more table entries per\n"
          "B-member, while A's delivery improves — two independent upward\n"
          "paths at psucc=0.6. Duplicate arrivals are inherent to gossip\n"

@@ -1,56 +1,25 @@
 // Figure 10 — "Reliability (stillborn processes)."
 //
-// Paper setting; y axis: percentage of (alive) processes of each group that
-// receive an event published in T2, under stillborn failures. Lower groups
-// see higher reliability (fewer fragile intergroup hops to survive):
-// T2 >= T1 >= T0, all decaying as the alive fraction shrinks.
+// Thin wrapper over the "fig10" scenario preset; the "frac" columns are
+// the figure's y axis (fraction of alive group members receiving an event
+// published in T2), the "all" columns the Sec. VI-D all-alive-delivered
+// probability. Lower groups see higher reliability (fewer fragile
+// intergroup hops to survive): T2 >= T1 >= T0, all decaying as the alive
+// fraction shrinks.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace dam;
   bench::CsvSink csv(argc, argv);
   bench::print_title(
       "Figure 10: reliability, stillborn processes",
-      "mean fraction of alive group members receiving the event, plus the\n"
-      "probability that ALL alive members received it (Sec. VI-D measure)");
+      "'frac' = mean fraction of alive group members receiving the event\n"
+      "(vacuous all-dead runs skipped); 'all' = P(every alive member did)");
 
-  constexpr int kRuns = 200;
-  util::ConsoleTable table({"alive", "T2 frac", "T1 frac", "T0 frac",
-                            "T2 all", "T1 all", "T0 all"});
-  csv.header({"alive_fraction", "t2_fraction", "t1_fraction", "t0_fraction",
-              "t2_all", "t1_all", "t0_all"});
+  bench::run_scenario_bench(bench::preset_or_die("fig10"), csv);
 
-  for (double alive : bench::alive_fractions()) {
-    util::Accumulator frac[3];
-    util::Proportion all[3];
-    for (int run = 0; run < kRuns; ++run) {
-      core::StaticSimConfig config;
-      config.alive_fraction = alive;
-      config.seed = 0xF10 + static_cast<std::uint64_t>(run) * 389 +
-                    static_cast<std::uint64_t>(alive * 1000.0);
-      const auto result = core::run_static_simulation(config);
-      for (int level = 0; level < 3; ++level) {
-        // Skip vacuous runs (no alive member in the group): a ratio of
-        // 1.0 there would artificially inflate the curve at low x.
-        if (result.groups[level].alive == 0) continue;
-        frac[level].add(result.groups[level].delivery_ratio());
-        all[level].add(result.groups[level].all_alive_delivered);
-      }
-    }
-    table.row(util::fixed(alive, 1), util::fixed(frac[2].mean(), 3),
-              util::fixed(frac[1].mean(), 3), util::fixed(frac[0].mean(), 3),
-              util::fixed(all[2].estimate(), 2),
-              util::fixed(all[1].estimate(), 2),
-              util::fixed(all[0].estimate(), 2));
-    csv.row(alive, frac[2].mean(), frac[1].mean(), frac[0].mean(),
-            all[2].estimate(), all[1].estimate(), all[0].estimate());
-  }
-  table.print(std::cout);
   std::cout << "\nexpected shape: T2 >= T1 >= T0 at every x; all curves\n"
                "rise toward 1.0 as the alive fraction approaches 1.\n";
   return 0;

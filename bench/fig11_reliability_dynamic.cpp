@@ -1,17 +1,15 @@
 // Figure 11 — "Reliability (dynamically failed processes)."
 //
-// Same as Figure 10 except failures are PERCEIVED, not real: every process
-// is alive, but each transmission independently sees its target as failed
-// with probability (1 - alive fraction) — the paper's model of a weakly
-// consistent membership. The paper's takeaway: reliability is much better
-// than in the stillborn regime at the same x, because "failed" processes
-// still forward events.
+// Thin wrapper over the "fig11" scenario preset: same as Figure 10 except
+// failures are PERCEIVED, not real — every process is alive, but each
+// transmission independently sees its target as failed with probability
+// (1 - alive fraction), the paper's model of a weakly consistent
+// membership. The paper's takeaway: reliability is much better than in
+// the stillborn regime at the same x (compare bench_fig10), because
+// "failed" processes still forward events.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace dam;
@@ -19,41 +17,11 @@ int main(int argc, char** argv) {
   bench::print_title(
       "Figure 11: reliability, dynamically failed processes",
       "all processes actually alive; each send independently perceives the\n"
-      "target as failed with probability 1 - alive. Compare against the\n"
-      "stillborn column (Figure 10) at the same alive fraction.");
+      "target as failed with probability 1 - alive. Compare the 'frac'\n"
+      "columns against Figure 10's at the same alive fraction.");
 
-  constexpr int kRuns = 200;
-  util::ConsoleTable table({"alive", "T2 frac", "T1 frac", "T0 frac",
-                            "T0 frac (stillborn, for comparison)"});
-  csv.header({"alive_fraction", "t2_fraction", "t1_fraction", "t0_fraction",
-              "t0_fraction_stillborn"});
+  bench::run_scenario_bench(bench::preset_or_die("fig11"), csv);
 
-  for (double alive : bench::alive_fractions()) {
-    util::Accumulator frac[3];
-    util::Accumulator stillborn_t0;
-    for (int run = 0; run < kRuns; ++run) {
-      core::StaticSimConfig config;
-      config.alive_fraction = alive;
-      config.failure_mode = core::StaticFailureMode::kDynamicPerception;
-      config.seed = 0xF11 + static_cast<std::uint64_t>(run) * 547 +
-                    static_cast<std::uint64_t>(alive * 1000.0);
-      const auto result = core::run_static_simulation(config);
-      for (int level = 0; level < 3; ++level) {
-        frac[level].add(result.groups[level].delivery_ratio());
-      }
-      config.failure_mode = core::StaticFailureMode::kStillborn;
-      const auto stillborn = core::run_static_simulation(config);
-      if (stillborn.groups[0].alive > 0) {
-        stillborn_t0.add(stillborn.groups[0].delivery_ratio());
-      }
-    }
-    table.row(util::fixed(alive, 1), util::fixed(frac[2].mean(), 3),
-              util::fixed(frac[1].mean(), 3), util::fixed(frac[0].mean(), 3),
-              util::fixed(stillborn_t0.mean(), 3));
-    csv.row(alive, frac[2].mean(), frac[1].mean(), frac[0].mean(),
-            stillborn_t0.mean());
-  }
-  table.print(std::cout);
   std::cout << "\nexpected: every dynamic column dominates its stillborn\n"
                "counterpart at the same alive fraction (Fig. 11 vs Fig. 10).\n";
   return 0;

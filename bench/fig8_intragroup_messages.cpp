@@ -1,16 +1,14 @@
 // Figure 8 — "Number of events sent in each group."
 //
-// Paper setting: T0/T1/T2 with 10/100/1000 subscribers, b=3, c=5, g=5, a=1,
-// z=3, psucc=0.85; tables frozen; stillborn failures; one event published
-// in T2. X axis: fraction of alive processes. Y: events sent within each
-// group. Expected shape: ~linear in the alive fraction, magnitude
+// Thin wrapper over the "fig8" scenario preset (src/sim/scenario.cpp):
+// T0/T1/T2 with 10/100/1000 subscribers, b=3, c=5, g=5, a=1, z=3,
+// psucc=0.85; tables frozen; stillborn failures; one event published in
+// T2; alive fraction swept 0..1. The "intra" columns are the figure's
+// y axis. Expected shape: ~linear in the alive fraction, magnitude
 // S·(ln S + c) per group (message complexity Sec. VI-B).
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace dam;
@@ -19,36 +17,10 @@ int main(int argc, char** argv) {
       "Figure 8: number of events sent in each group",
       "paper setting: S={10,100,1000}, b=3 c=5 g=5 a=1 z=3 psucc=0.85,\n"
       "stillborn failures, frozen tables, event published in T2;\n"
-      "reported: mean and max over runs of intra-group events sent");
+      "'intra' columns = mean intra-group events sent per run");
 
-  constexpr int kRuns = 60;
-  util::ConsoleTable table({"alive", "T2 mean", "T2 max", "T1 mean", "T1 max",
-                            "T0 mean", "T0 max"});
-  csv.header({"alive_fraction", "t2_mean", "t2_max", "t1_mean", "t1_max",
-              "t0_mean", "t0_max"});
+  bench::run_scenario_bench(bench::preset_or_die("fig8"), csv);
 
-  for (double alive : bench::alive_fractions()) {
-    util::Accumulator t2;
-    util::Accumulator t1;
-    util::Accumulator t0;
-    for (int run = 0; run < kRuns; ++run) {
-      core::StaticSimConfig config;  // defaults = paper setting
-      config.alive_fraction = alive;
-      config.seed = 0xF18 + static_cast<std::uint64_t>(run) * 977 +
-                    static_cast<std::uint64_t>(alive * 1000.0);
-      const auto result = core::run_static_simulation(config);
-      t2.add(static_cast<double>(result.groups[2].intra_sent));
-      t1.add(static_cast<double>(result.groups[1].intra_sent));
-      t0.add(static_cast<double>(result.groups[0].intra_sent));
-    }
-    table.row(util::fixed(alive, 1), util::fixed(t2.mean(), 0),
-              util::fixed(t2.max(), 0), util::fixed(t1.mean(), 0),
-              util::fixed(t1.max(), 0), util::fixed(t0.mean(), 0),
-              util::fixed(t0.max(), 0));
-    csv.row(alive, t2.mean(), t2.max(), t1.mean(), t1.max(), t0.mean(),
-            t0.max());
-  }
-  table.print(std::cout);
   std::cout << "\nexpected magnitude at alive=1.0: S*ceil(ln S + c) = "
                "12000 (T2), 1000 (T1), 80 (T0)\n"
                "paper's plotted maxima (~7500/700/60) correspond to log10 "

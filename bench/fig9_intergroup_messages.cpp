@@ -1,61 +1,25 @@
 // Figure 9 — "Number of intergroup events."
 //
-// Same setting as Figure 8; reports the events crossing the T2->T1 and
-// T1->T0 boundaries. Expected magnitude at full liveness:
-// sent = S·psel·pa·z = g = 5, received = 5·psucc = 4.25 (Sec. VI-B).
-// Headline claim: even with ~half the processes failed, at least one event
-// still reaches the supergroup.
+// Thin wrapper over the "fig9" scenario preset: same setting as Figure 8;
+// the "inter>"/"recv" columns report events crossing the T2->T1 and T1->T0
+// boundaries. Expected magnitude at full liveness: sent = S·psel·pa·z =
+// g = 5, received = 5·psucc = 4.25 (Sec. VI-B). Headline claim: even with
+// ~half the processes failed, at least one event still reaches the
+// supergroup.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 int main(int argc, char** argv) {
   using namespace dam;
   bench::CsvSink csv(argc, argv);
   bench::print_title(
       "Figure 9: number of intergroup events",
-      "paper setting; sent = events emitted via supertopic tables,\n"
-      "recv = events that arrived in the supergroup; >=1 column = fraction\n"
-      "of runs in which at least one event reached the supergroup");
+      "paper setting; 'inter>' = events emitted via supertopic tables,\n"
+      "'recv' = events that arrived in the group from below");
 
-  constexpr int kRuns = 200;
-  util::ConsoleTable table({"alive", "T2->T1 sent", "T2->T1 recv",
-                            "T2->T1 >=1", "T1->T0 sent", "T1->T0 recv",
-                            "T1->T0 >=1"});
-  csv.header({"alive_fraction", "t2_t1_sent", "t2_t1_recv", "t2_t1_any",
-              "t1_t0_sent", "t1_t0_recv", "t1_t0_any"});
+  bench::run_scenario_bench(bench::preset_or_die("fig9"), csv);
 
-  for (double alive : bench::alive_fractions()) {
-    util::Accumulator sent21;
-    util::Accumulator recv21;
-    util::Accumulator sent10;
-    util::Accumulator recv10;
-    util::Proportion any21;
-    util::Proportion any10;
-    for (int run = 0; run < kRuns; ++run) {
-      core::StaticSimConfig config;
-      config.alive_fraction = alive;
-      config.seed = 0xF19 + static_cast<std::uint64_t>(run) * 613 +
-                    static_cast<std::uint64_t>(alive * 1000.0);
-      const auto result = core::run_static_simulation(config);
-      sent21.add(static_cast<double>(result.groups[2].inter_sent));
-      recv21.add(static_cast<double>(result.groups[1].inter_received));
-      sent10.add(static_cast<double>(result.groups[1].inter_sent));
-      recv10.add(static_cast<double>(result.groups[0].inter_received));
-      any21.add(result.groups[1].inter_received > 0);
-      any10.add(result.groups[0].inter_received > 0);
-    }
-    table.row(util::fixed(alive, 1), util::fixed(sent21.mean(), 2),
-              util::fixed(recv21.mean(), 2), util::fixed(any21.estimate(), 2),
-              util::fixed(sent10.mean(), 2), util::fixed(recv10.mean(), 2),
-              util::fixed(any10.estimate(), 2));
-    csv.row(alive, sent21.mean(), recv21.mean(), any21.estimate(),
-            sent10.mean(), recv10.mean(), any10.estimate());
-  }
-  table.print(std::cout);
   std::cout << "\nexpected at alive=1.0: sent = g = 5, recv = g*psucc = "
                "4.25 per boundary.\n";
   return 0;

@@ -1,33 +1,10 @@
 #include "core/dag_sim.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <deque>
-#include <stdexcept>
 
-#include "util/rng.hpp"
+#include "core/frozen_sim.hpp"
 
 namespace dam::core {
-
-namespace {
-
-struct Coord {
-  std::uint32_t topic;
-  std::uint32_t index;
-};
-
-struct Group {
-  std::size_t size = 0;
-  std::vector<std::vector<std::uint32_t>> topic_table;  // per process
-  // One supertopic table per direct supertopic, aligned with dag.supers():
-  // super_tables[process][parent_slot] = vector of indices in that
-  // parent's group.
-  std::vector<std::vector<std::vector<std::uint32_t>>> super_tables;
-  std::vector<bool> alive;
-  std::vector<bool> delivered;
-};
-
-}  // namespace
 
 double DagRunResult::memory_per_process(const topics::TopicDag& dag,
                                         topics::DagTopicId topic,
@@ -41,164 +18,31 @@ double DagRunResult::memory_per_process(const topics::TopicDag& dag,
 }
 
 DagRunResult run_dag_simulation(const DagSimConfig& config) {
-  if (config.dag == nullptr) {
-    throw std::invalid_argument("run_dag_simulation: no dag");
-  }
-  const topics::TopicDag& dag = *config.dag;
-  if (config.group_sizes.size() != dag.size()) {
-    throw std::invalid_argument(
-        "run_dag_simulation: group_sizes must cover every topic");
-  }
-  for (std::size_t size : config.group_sizes) {
-    if (size == 0) {
-      throw std::invalid_argument("run_dag_simulation: empty group");
-    }
-  }
-  if (config.publish_topic.value >= dag.size()) {
-    throw std::invalid_argument("run_dag_simulation: bad publish topic");
-  }
-  util::Rng rng(config.seed);
-  const TopicParams& params = config.params;
-  const double fail_probability = 1.0 - config.alive_fraction;
-
-  // --- Frozen tables --------------------------------------------------------
-  std::vector<Group> groups(dag.size());
-  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-    Group& group = groups[topic];
-    group.size = config.group_sizes[topic];
-    group.topic_table.resize(group.size);
-    group.super_tables.resize(group.size);
-    group.delivered.assign(group.size, false);
-    group.alive.assign(group.size, true);
-    for (std::size_t i = 0; i < group.size; ++i) {
-      if (rng.bernoulli(fail_probability)) group.alive[i] = false;
-    }
-
-    const std::size_t view_size =
-        group.size > 1
-            ? std::min(params.view_capacity(group.size), group.size - 1)
-            : 0;
-    std::vector<std::uint32_t> others;
-    for (std::size_t i = 0; i < group.size; ++i) {
-      others.clear();
-      for (std::uint32_t j = 0; j < group.size; ++j) {
-        if (j != i) others.push_back(j);
-      }
-      group.topic_table[i] = rng.sample(others, view_size);
-
-      // One table of z uniform members per direct supertopic.
-      const auto& parents = dag.supers(topics::DagTopicId{topic});
-      group.super_tables[i].resize(parents.size());
-      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
-        const std::size_t parent_size =
-            config.group_sizes[parents[slot].value];
-        std::vector<std::uint32_t> candidates(parent_size);
-        for (std::uint32_t j = 0; j < parent_size; ++j) candidates[j] = j;
-        group.super_tables[i][slot] = rng.sample(candidates, params.z);
-      }
-    }
-  }
+  FrozenSimConfig frozen;
+  frozen.dag = config.dag;
+  frozen.group_sizes = config.group_sizes;
+  frozen.params = {config.params};
+  frozen.alive_fraction = config.alive_fraction;
+  frozen.failure_mode = FrozenFailureMode::kStillborn;
+  frozen.publish_topic = config.publish_topic;
+  frozen.seed = config.seed;
+  const FrozenRunResult run = run_frozen_simulation(frozen);
 
   DagRunResult result;
-  result.groups.resize(dag.size());
-  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-    result.groups[topic].size = groups[topic].size;
-    result.groups[topic].alive = static_cast<std::size_t>(std::count(
-        groups[topic].alive.begin(), groups[topic].alive.end(), true));
-  }
-
-  auto delivery_ok = [&](const Group& target_group, std::uint32_t target) {
-    return rng.bernoulli(params.psucc) && target_group.alive[target];
-  };
-
-  // --- Publisher ------------------------------------------------------------
-  std::vector<std::uint32_t> candidates;
-  for (std::uint32_t i = 0; i < groups[config.publish_topic.value].size;
-       ++i) {
-    if (groups[config.publish_topic.value].alive[i]) candidates.push_back(i);
-  }
-  if (candidates.empty()) {
-    for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-      result.groups[topic].all_alive_delivered =
-          result.groups[topic].alive == 0;
-    }
-    return result;
-  }
-
-  std::deque<Coord> frontier;
-  {
-    const std::uint32_t publisher = candidates[rng.below(candidates.size())];
-    groups[config.publish_topic.value].delivered[publisher] = true;
-    frontier.push_back(Coord{config.publish_topic.value, publisher});
-  }
-
-  // --- Synchronous waves ----------------------------------------------------
-  std::size_t rounds = 0;
-  while (!frontier.empty()) {
-    ++rounds;
-    std::deque<Coord> next;
-    for (const Coord& coord : frontier) {
-      Group& group = groups[coord.topic];
-      auto& my_result = result.groups[coord.topic];
-      const auto& parents = dag.supers(topics::DagTopicId{coord.topic});
-
-      // Intergroup legs: one independent election per direct supertopic
-      // (a per-parent supertopic table, per the conclusion's sketch).
-      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
-        if (!rng.bernoulli(params.psel(group.size))) continue;
-        const std::uint32_t parent = parents[slot].value;
-        Group& parent_group = groups[parent];
-        for (std::uint32_t target :
-             group.super_tables[coord.index][slot]) {
-          if (!rng.bernoulli(params.pa())) continue;
-          ++my_result.inter_sent;
-          if (!delivery_ok(parent_group, target)) continue;
-          ++result.groups[parent].inter_received;
-          if (parent_group.delivered[target]) {
-            ++result.groups[parent].duplicate_deliveries;
-          } else {
-            parent_group.delivered[target] = true;
-            next.push_back(Coord{parent, target});
-          }
-        }
-      }
-
-      // Intra-group gossip leg.
-      const std::size_t fanout = params.fanout(group.size);
-      for (std::uint32_t target :
-           rng.sample(group.topic_table[coord.index], fanout)) {
-        ++my_result.intra_sent;
-        if (!delivery_ok(group, target)) continue;
-        if (group.delivered[target]) {
-          ++my_result.duplicate_deliveries;
-        } else {
-          group.delivered[target] = true;
-          next.push_back(Coord{coord.topic, target});
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-
-  // --- Accounting ------------------------------------------------------------
-  result.rounds = rounds;
-  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-    const Group& group = groups[topic];
-    auto& group_result = result.groups[topic];
-    std::size_t delivered = 0;
-    for (std::size_t i = 0; i < group.size; ++i) {
-      if (group.alive[i] && group.delivered[i]) ++delivered;
-    }
-    group_result.delivered = delivered;
-    // "All delivered" only meaningful for groups the event should reach:
-    // the publish topic and its ancestors.
-    const bool should_receive =
-        dag.includes(topics::DagTopicId{topic}, config.publish_topic);
-    group_result.all_alive_delivered =
-        should_receive ? delivered == group_result.alive
-                       : delivered == 0;
-    result.total_messages +=
-        group_result.intra_sent + group_result.inter_sent;
+  result.rounds = run.rounds;
+  result.total_messages = run.total_messages;
+  result.groups.resize(run.groups.size());
+  for (std::size_t topic = 0; topic < run.groups.size(); ++topic) {
+    const FrozenGroupResult& from = run.groups[topic];
+    DagGroupResult& to = result.groups[topic];
+    to.size = from.size;
+    to.alive = from.alive;
+    to.intra_sent = from.intra_sent;
+    to.inter_sent = from.inter_sent;
+    to.inter_received = from.inter_received;
+    to.delivered = from.delivered;
+    to.duplicate_deliveries = from.duplicate_deliveries;
+    to.all_alive_delivered = from.all_alive_delivered;
   }
   return result;
 }

@@ -1,20 +1,21 @@
-// DagSimulation — daMulticast over a topic DAG (multiple inheritance).
+// DagSimulation — daMulticast over a topic DAG (multiple inheritance), as
+// a thin adapter over the unified frozen-table engine (core/frozen_sim.hpp).
 //
 // Implements the paper's conclusion extension: a topic may have several
 // direct supertopics; each process keeps the usual topic table plus ONE
 // SUPERTOPIC TABLE PER direct supertopic of its topic. Dissemination is
 // unchanged within groups; the intergroup leg runs independently toward
 // every parent (election with psel, then pa per table entry), so an event
-// climbs every upward path of the DAG. Duplicate-suppression (the seen
-// set) keeps diamond topologies from double-delivering.
+// climbs every upward path of the DAG. Duplicate-suppression keeps diamond
+// topologies from double-delivering.
 //
-// Frozen-table regime, like core/static_sim.hpp; used by tests and the
-// multi-inheritance ablation bench.
+// Historically this was a second standalone engine duplicating the static
+// engine's decision logic; today both are façades over run_frozen_simulation
+// (which drives the shared protocol kernel, core/protocol.hpp). This header
+// survives for the multi-inheritance ablation bench and its tests.
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/params.hpp"

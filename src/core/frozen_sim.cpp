@@ -1,0 +1,236 @@
+#include "core/frozen_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "core/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace dam::core {
+
+namespace {
+
+/// Process coordinates inside the engine: (topic, index-in-group).
+struct Coord {
+  std::uint32_t topic;
+  std::uint32_t index;
+};
+
+struct Group {
+  std::size_t size = 0;
+  std::vector<std::vector<std::uint32_t>> topic_table;  // per process
+  // One supertopic table per direct supertopic, aligned with dag.supers():
+  // super_tables[process][parent_slot] = indices in that parent's group.
+  std::vector<std::vector<std::vector<std::uint32_t>>> super_tables;
+  std::vector<bool> alive;  // stillborn regime; all-true otherwise
+  std::vector<bool> delivered;
+};
+
+}  // namespace
+
+const TopicParams& params_for_topic(const FrozenSimConfig& config,
+                                    std::size_t topic) {
+  static const TopicParams kDefaults{};
+  if (config.params.empty()) return kDefaults;
+  return config.params[std::min(topic, config.params.size() - 1)];
+}
+
+FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
+  if (config.dag == nullptr) {
+    throw std::invalid_argument("run_frozen_simulation: no dag");
+  }
+  const topics::TopicDag& dag = *config.dag;
+  if (config.group_sizes.size() != dag.size()) {
+    throw std::invalid_argument(
+        "run_frozen_simulation: group_sizes must cover every topic");
+  }
+  for (std::size_t size : config.group_sizes) {
+    if (size == 0) {
+      // The analysis (Sec. VI-A) assumes every group is non-empty.
+      throw std::invalid_argument("run_frozen_simulation: empty group");
+    }
+  }
+  if (config.publish_topic.value >= dag.size()) {
+    throw std::invalid_argument("run_frozen_simulation: bad publish topic");
+  }
+  util::Rng rng(config.seed);
+  const bool stillborn =
+      config.failure_mode == FrozenFailureMode::kStillborn;
+  const double fail_probability = 1.0 - config.alive_fraction;
+
+  // --- Build frozen membership tables (Sec. VII-A). -----------------------
+  // Draw order per topic (alive flags, then every topic table, then every
+  // supertopic table, parent slot-major) is load-bearing: it matches the
+  // historical StaticSimulation stream on path DAGs (see header comment).
+  std::vector<Group> groups(dag.size());
+  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+    Group& group = groups[topic];
+    group.size = config.group_sizes[topic];
+    const TopicParams& params = params_for_topic(config, topic);
+    group.topic_table.resize(group.size);
+    group.super_tables.resize(group.size);
+    group.delivered.assign(group.size, false);
+    group.alive.assign(group.size, true);
+    if (stillborn) {
+      for (std::size_t i = 0; i < group.size; ++i) {
+        if (rng.bernoulli(fail_probability)) group.alive[i] = false;
+      }
+    }
+
+    // Topic table: (b+1)·ln(S) uniform group members (failed ones stay in —
+    // "the membership algorithm does not replace a failed process").
+    const std::size_t view_size =
+        std::min(params.view_capacity(group.size), group.size - 1);
+    std::vector<std::uint32_t> others;
+    others.reserve(group.size - 1);
+    for (std::size_t i = 0; i < group.size; ++i) {
+      others.clear();
+      for (std::uint32_t j = 0; j < group.size; ++j) {
+        if (j != static_cast<std::uint32_t>(i)) others.push_back(j);
+      }
+      group.topic_table[i] = rng.sample(others, view_size);
+    }
+
+    // One supertopic table of z uniform parent-group members per direct
+    // supertopic.
+    const auto& parents = dag.supers(topics::DagTopicId{topic});
+    for (std::size_t i = 0; i < group.size; ++i) {
+      group.super_tables[i].resize(parents.size());
+    }
+    for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+      const std::size_t parent_size =
+          config.group_sizes[parents[slot].value];
+      std::vector<std::uint32_t> candidates(parent_size);
+      for (std::uint32_t j = 0; j < parent_size; ++j) candidates[j] = j;
+      for (std::size_t i = 0; i < group.size; ++i) {
+        group.super_tables[i][slot] = rng.sample(candidates, params.z);
+      }
+    }
+  }
+
+  FrozenRunResult result;
+  result.groups.resize(dag.size());
+  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+    result.groups[topic].size = groups[topic].size;
+    result.groups[topic].alive = static_cast<std::size_t>(std::count(
+        groups[topic].alive.begin(), groups[topic].alive.end(), true));
+  }
+
+  // A message to (topic, index) gets through iff the channel coin succeeds
+  // AND the target is (perceived) alive.
+  auto delivered_ok = [&](const TopicParams& params, const Group& target_group,
+                          std::uint32_t target) {
+    if (!protocol::channel_delivers(params.psucc, rng)) return false;
+    if (stillborn) return static_cast<bool>(target_group.alive[target]);
+    return !rng.bernoulli(fail_probability);  // dynamic perception
+  };
+
+  // --- Pick the publisher. ------------------------------------------------
+  const std::uint32_t publish = config.publish_topic.value;
+  std::vector<std::uint32_t> alive_candidates;
+  for (std::uint32_t i = 0; i < groups[publish].size; ++i) {
+    if (groups[publish].alive[i]) alive_candidates.push_back(i);
+  }
+  if (alive_candidates.empty()) {
+    // Nobody can publish; groups with alive members trivially miss the
+    // event, empty ones vacuously receive it.
+    for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+      result.groups[topic].all_alive_delivered =
+          result.groups[topic].alive == 0;
+    }
+    return result;
+  }
+
+  // --- Synchronous dissemination waves (Fig. 5 + Fig. 7). -----------------
+  auto note_delivery = [&](std::uint32_t topic, std::size_t round) {
+    auto& group_result = result.groups[topic];
+    if (!group_result.first_delivery_round) {
+      group_result.first_delivery_round = round;
+    }
+    group_result.last_delivery_round = round;
+  };
+
+  std::deque<Coord> frontier;
+  {
+    const std::uint32_t publisher =
+        alive_candidates[rng.below(alive_candidates.size())];
+    groups[publish].delivered[publisher] = true;
+    note_delivery(publish, 0);
+    frontier.push_back(Coord{publish, publisher});
+  }
+
+  std::size_t rounds = 0;
+  while (!frontier.empty()) {
+    ++rounds;
+    std::deque<Coord> next;
+    for (const Coord& coord : frontier) {
+      Group& group = groups[coord.topic];
+      const TopicParams& params = params_for_topic(config, coord.topic);
+      auto& my_result = result.groups[coord.topic];
+      const auto& parents = dag.supers(topics::DagTopicId{coord.topic});
+
+      // (1) Intergroup legs (Fig. 7 lines 3–7): one independent election
+      // per direct supertopic, then pa per table entry. Roots have no
+      // parents and skip this.
+      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+        const std::uint32_t parent = parents[slot].value;
+        Group& parent_group = groups[parent];
+        protocol::for_each_intergroup_target(
+            params, group.size, group.super_tables[coord.index][slot], rng,
+            [&](std::uint32_t target) {
+              ++my_result.inter_sent;
+              if (!delivered_ok(params, parent_group, target)) return;
+              ++result.groups[parent].inter_received;
+              if (parent_group.delivered[target]) {
+                ++result.groups[parent].duplicate_deliveries;
+                return;
+              }
+              parent_group.delivered[target] = true;
+              note_delivery(parent, rounds);
+              next.push_back(Coord{parent, target});
+            });
+      }
+
+      // (2) Intra-group gossip leg (Fig. 7 lines 8–14): fanout distinct
+      // targets, without replacement (the Ω set).
+      for (std::uint32_t target : protocol::fanout_targets(
+               params, group.size, group.topic_table[coord.index], rng)) {
+        ++my_result.intra_sent;
+        if (!delivered_ok(params, group, target)) continue;
+        if (group.delivered[target]) {
+          ++my_result.duplicate_deliveries;
+          continue;
+        }
+        group.delivered[target] = true;
+        note_delivery(coord.topic, rounds);
+        next.push_back(Coord{coord.topic, target});
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // --- Final accounting. --------------------------------------------------
+  result.rounds = rounds;
+  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+    const Group& group = groups[topic];
+    auto& group_result = result.groups[topic];
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i < group.size; ++i) {
+      if (group.alive[i] && group.delivered[i]) ++delivered;
+    }
+    group_result.delivered = delivered;
+    // "All delivered" only meaningful for groups the event should reach:
+    // the publish topic and its ancestor closure. Other groups are correct
+    // exactly when they stayed clean.
+    const bool should_receive =
+        dag.includes(topics::DagTopicId{topic}, config.publish_topic);
+    group_result.all_alive_delivered =
+        should_receive ? delivered == group_result.alive : delivered == 0;
+    result.total_messages +=
+        group_result.intra_sent + group_result.inter_sent;
+  }
+  return result;
+}
+
+}  // namespace dam::core

@@ -1,0 +1,111 @@
+// Unified frozen-table engine — one engine behind both "paper" simulators.
+//
+// Reproduces the paper's Section VII evaluation regime over an arbitrary
+// topics::TopicDag (a linear hierarchy is just a path DAG):
+//   * membership tables (topic table + one supertopic table per direct
+//     supertopic) drawn uniformly at random and FROZEN for the whole run
+//     ("these tables are initialized at the beginning of the simulation
+//     and do not change");
+//   * failed processes are NOT replaced in any table (pessimistic);
+//   * one event is published in `publish_topic` and disseminated in
+//     synchronous gossip rounds until quiescence;
+//   * two failure regimes: stillborn (Figs. 8–10) and dynamic perception
+//     (Fig. 11).
+//
+// All protocol decisions (election psel, per-entry pa, fanout without
+// replacement, forward on first reception) route through core/protocol —
+// the same kernel DamNode drives — so the engines cannot drift apart.
+// core/static_sim.hpp and core/dag_sim.hpp are thin adapters over this
+// engine that preserve the historical config/result structs.
+//
+// RNG compatibility: for a path DAG whose topics were added root-first,
+// this engine consumes the seed stream exactly like the original
+// StaticSimulation, so historical per-seed counters are reproduced
+// bit-for-bit (tests/core/engine_agreement_test.cpp pins that).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "topics/dag.hpp"
+
+namespace dam::core {
+
+enum class FrozenFailureMode {
+  kStillborn,          ///< fixed failed set, chosen before the run (Figs. 8–10)
+  kDynamicPerception,  ///< all alive; each send independently "sees" the
+                       ///< target failed with probability 1 - alive_fraction
+                       ///< (Fig. 11)
+};
+
+struct FrozenSimConfig {
+  const topics::TopicDag* dag = nullptr;
+
+  /// Subscribers per topic, indexed by DagTopicId::value. Every topic must
+  /// have at least one subscriber (as in the paper's analysis, Sec. VI-A).
+  std::vector<std::size_t> group_sizes;
+
+  /// Per-topic parameters, indexed by DagTopicId::value; if shorter than
+  /// group_sizes the last entry (or defaults) is reused. Paper uses one
+  /// setting for all groups.
+  std::vector<TopicParams> params{TopicParams{}};
+
+  double alive_fraction = 1.0;
+  FrozenFailureMode failure_mode = FrozenFailureMode::kStillborn;
+
+  topics::DagTopicId publish_topic{};
+  std::uint64_t seed = 1;
+};
+
+struct FrozenGroupResult {
+  std::size_t size = 0;              ///< S_Ti
+  std::size_t alive = 0;             ///< alive members
+  std::uint64_t intra_sent = 0;      ///< events sent within the group
+  std::uint64_t inter_sent = 0;      ///< events sent upward (all parents)
+  std::uint64_t inter_received = 0;  ///< intergroup events received here
+  std::size_t delivered = 0;         ///< alive members that delivered
+  std::size_t duplicate_deliveries = 0;  ///< suppressed re-receptions
+
+  /// True iff the group's outcome is correct for this run: every alive
+  /// member delivered when the group should receive the event (it includes
+  /// the publish topic), no member delivered otherwise.
+  bool all_alive_delivered = false;
+
+  /// Round of the group's first / last delivery (unset if nothing arrived).
+  /// The publisher's own delivery counts as round 0.
+  std::optional<std::size_t> first_delivery_round;
+  std::optional<std::size_t> last_delivery_round;
+
+  /// delivered / alive (1.0 when the group has no alive member).
+  [[nodiscard]] double delivery_ratio() const {
+    return alive == 0 ? 1.0
+                      : static_cast<double>(delivered) /
+                            static_cast<double>(alive);
+  }
+};
+
+struct FrozenRunResult {
+  std::vector<FrozenGroupResult> groups;  ///< indexed by DagTopicId::value
+  std::size_t rounds = 0;                 ///< rounds until quiescence
+  std::uint64_t total_messages = 0;
+
+  [[nodiscard]] bool all_groups_delivered() const {
+    for (const auto& group : groups) {
+      if (!group.all_alive_delivered) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs one publication to quiescence and reports per-group counters.
+[[nodiscard]] FrozenRunResult run_frozen_simulation(
+    const FrozenSimConfig& config);
+
+/// Parameters actually applied to topic `topic` under `config` (resolves
+/// the "reuse last entry" rule; empty vector falls back to defaults).
+[[nodiscard]] const TopicParams& params_for_topic(const FrozenSimConfig& config,
+                                                  std::size_t topic);
+
+}  // namespace dam::core

@@ -22,7 +22,8 @@ DamNode::DamNode(ProcessId self, TopicId topic,
       membership_(self, topic, config.membership, group_size_estimate,
                   rng.fork(0xA11CE)),
       super_table_(self, config.params.z),
-      bootstrap_(self, topic, hierarchy, config.bootstrap) {
+      bootstrap_(self, topic, hierarchy, config.bootstrap),
+      seen_(config.max_seen_events) {
   config_.params.validate();
 }
 
@@ -48,7 +49,7 @@ EventId DamNode::publish(std::vector<std::uint8_t> payload) {
   const EventId event{self_, next_sequence_++};
   // The publisher "receives" its own event: mark seen, deliver locally,
   // and run DISSEMINATE (Fig. 7 is invoked by the publisher as well).
-  remember_event(event);
+  seen_.remember(event);
   Message msg;
   msg.kind = MsgKind::kEvent;
   msg.from = self_;
@@ -124,22 +125,19 @@ void DamNode::disseminate(const Message& event_msg) {
   // (1) Intergroup leg (Fig. 7 lines 3–7): elect self with probability
   // psel = g/S; if elected, send to each supertopic-table entry with
   // probability pa = a/z. Root processes have an empty table and skip this.
-  if (!super_table_.empty() && rng_.bernoulli(params.psel(group_size))) {
-    for (ProcessId target : super_table_.entries()) {
-      if (!rng_.bernoulli(params.pa())) continue;
-      Message out = event_msg;
-      out.from = self_;
-      out.to = target;
-      out.intergroup = true;
-      env_->send(std::move(out));
-    }
-  }
+  protocol::for_each_intergroup_target(
+      params, group_size, super_table_.entries(), rng_, [&](ProcessId target) {
+        Message out = event_msg;
+        out.from = self_;
+        out.to = target;
+        out.intergroup = true;
+        env_->send(std::move(out));
+      });
 
   // (2) Intra-group gossip leg (Fig. 7 lines 8–14): fanout distinct
   // processes drawn from the topic table, without replacement (the Ω set).
-  const std::size_t fanout = params.fanout(group_size);
-  const auto targets = membership_.view().sample(fanout, rng_);
-  for (ProcessId target : targets) {
+  for (ProcessId target : protocol::fanout_targets(
+           params, group_size, membership_.view().entries(), rng_)) {
     Message out = event_msg;
     out.from = self_;
     out.to = target;
@@ -150,12 +148,11 @@ void DamNode::disseminate(const Message& event_msg) {
 
 void DamNode::handle_event(const Message& msg) {
   // Fig. 5 lines 5–10: first reception forwards + delivers; duplicates are
-  // suppressed.
-  if (seen_.contains(msg.event)) {
+  // suppressed (protocol::SeenSet).
+  if (!seen_.remember(msg.event)) {
     ++duplicates_;
     return;
   }
-  remember_event(msg.event);
   remember_history(msg);
   env_->deliver(self_, msg);
   disseminate(msg);
@@ -321,16 +318,6 @@ void DamNode::remember_history(const Message& event_msg) {
   history_.push_back(event_msg);
   while (history_.size() > config_.recovery.history_size) {
     history_.pop_front();
-  }
-}
-
-void DamNode::remember_event(EventId event) {
-  if (!seen_.insert(event).second) return;
-  if (config_.max_seen_events == 0) return;
-  seen_order_.push_back(event);
-  while (seen_order_.size() > config_.max_seen_events) {
-    seen_.erase(seen_order_.front());
-    seen_order_.pop_front();
   }
 }
 

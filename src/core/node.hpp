@@ -22,6 +22,7 @@
 
 #include "core/bootstrap.hpp"
 #include "core/params.hpp"
+#include "core/protocol.hpp"
 #include "core/tables.hpp"
 #include "membership/flat_membership.hpp"
 #include "net/message.hpp"
@@ -127,6 +128,9 @@ class DamNode {
   [[nodiscard]] bool has_seen(EventId event) const {
     return seen_.contains(event);
   }
+  [[nodiscard]] const protocol::SeenSet<EventId>& seen_events() const noexcept {
+    return seen_;
+  }
 
   /// Updates the group-size estimate used for fanout/psel/view capacity.
   /// In a deployment this would come from the membership substrate's size
@@ -153,7 +157,9 @@ class DamNode {
 
  private:
   /// DISSEMINATE (Fig. 7): intergroup leg with probability psel, then the
-  /// intra-group gossip leg to fanout distinct topic-table entries.
+  /// intra-group gossip leg to fanout distinct topic-table entries. All
+  /// stochastic decisions route through the shared protocol kernel
+  /// (core/protocol.hpp) so every engine makes them identically.
   void disseminate(const Message& event_msg);
 
   void handle_event(const Message& msg);
@@ -188,11 +194,9 @@ class DamNode {
   SuperTopicTable super_table_;
   BootstrapTask bootstrap_;
 
-  /// Marks `event` seen, evicting FIFO beyond config_.max_seen_events.
-  void remember_event(EventId event);
-
-  std::unordered_set<EventId> seen_;
-  std::deque<EventId> seen_order_;  // FIFO eviction when bounded
+  /// Duplicate suppression (forward on first reception), bounded by
+  /// config_.max_seen_events.
+  protocol::SeenSet<EventId> seen_;
   std::deque<Message> history_;     // recovery buffer (recent event msgs)
   std::unordered_set<std::uint64_t> seen_requests_;  // (origin, request_id)
   std::uint32_t next_sequence_ = 0;

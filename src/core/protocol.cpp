@@ -1,0 +1,18 @@
+#include "core/protocol.hpp"
+
+namespace dam::core::protocol {
+
+bool elects_self(const TopicParams& params, std::size_t group_size,
+                 util::Rng& rng) {
+  return rng.bernoulli(params.psel(group_size));
+}
+
+bool forwards_to_entry(const TopicParams& params, util::Rng& rng) {
+  return rng.bernoulli(params.pa());
+}
+
+bool channel_delivers(double psucc, util::Rng& rng) {
+  return rng.bernoulli(psucc);
+}
+
+}  // namespace dam::core::protocol

@@ -1,0 +1,115 @@
+// Protocol kernel — the gossip decision logic of daMulticast, implemented
+// once and shared by every engine.
+//
+// The paper's dissemination decisions (Figs. 5 and 7) used to be coded
+// three times — in DamNode, in the static figure engine, and in the DAG
+// engine. They live here now, as pure functions of (params, rng):
+//
+//   * self-election for the intergroup leg with probability psel = g/S
+//     (Fig. 7 lines 3–4);
+//   * per-supertopic-table-entry forwarding with probability pa = a/z
+//     (Fig. 7 lines 5–7);
+//   * intra-group fanout of ln(S)+c distinct topic-table entries, drawn
+//     without replacement — the Ω set (Fig. 7 lines 8–14);
+//   * the per-message channel coin psucc (Sec. III-A best-effort links);
+//   * forward-on-first-reception duplicate suppression (Fig. 5 lines
+//     5–10), as the SeenSet container.
+//
+// Consumers: core/node.cpp (message-passing engine), core/frozen_sim.cpp
+// (unified frozen-table engine behind static_sim/dag_sim), net/transport.cpp
+// (channel coin). Nothing here touches engine state, so the kernel is unit-
+// testable in isolation (tests/core/protocol_test.cpp).
+//
+// RNG discipline: every helper documents exactly how many draws it makes,
+// because engines rely on reproducible streams (same seed ⇒ same run).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/params.hpp"
+#include "util/rng.hpp"
+
+namespace dam::core::protocol {
+
+/// Election for the intergroup leg: true with probability psel = g/S.
+/// Exactly one RNG draw (zero when psel clamps to 0 or 1).
+[[nodiscard]] bool elects_self(const TopicParams& params,
+                               std::size_t group_size, util::Rng& rng);
+
+/// Per-entry forwarding decision once elected: true with probability
+/// pa = a/z. Exactly one RNG draw (zero when pa clamps to 0 or 1).
+[[nodiscard]] bool forwards_to_entry(const TopicParams& params,
+                                     util::Rng& rng);
+
+/// The per-message channel coin (best-effort links, Sec. III-A).
+[[nodiscard]] bool channel_delivers(double psucc, util::Rng& rng);
+
+/// The complete intergroup leg against one supertopic table (Fig. 7 lines
+/// 3–7): elect once, then hit each entry independently with pa, invoking
+/// `fn(entry)` for every selected target in table order. An empty table
+/// skips the election entirely (root processes send nothing upward).
+/// RNG draws: one psel coin when the table is non-empty, then one pa coin
+/// per entry when elected.
+template <typename Entry, typename Fn>
+void for_each_intergroup_target(const TopicParams& params,
+                                std::size_t group_size,
+                                const std::vector<Entry>& super_table,
+                                util::Rng& rng, Fn&& fn) {
+  if (super_table.empty() || !elects_self(params, group_size, rng)) return;
+  for (const Entry& entry : super_table) {
+    if (forwards_to_entry(params, rng)) fn(entry);
+  }
+}
+
+/// The intra-group gossip leg (Fig. 7 lines 8–14): fanout(S) = ceil(ln S
+/// + c) distinct targets drawn uniformly from the topic table without
+/// replacement. Returns fewer when the table is smaller than the fanout.
+template <typename Entry>
+[[nodiscard]] std::vector<Entry> fanout_targets(
+    const TopicParams& params, std::size_t group_size,
+    const std::vector<Entry>& topic_table, util::Rng& rng) {
+  return rng.sample(topic_table, params.fanout(group_size));
+}
+
+/// Forward-on-first-reception policy (Fig. 5 lines 5–10): an event is
+/// delivered and forwarded exactly once; re-receptions are suppressed.
+/// Optionally bounded: beyond `max_size` entries the oldest are forgotten
+/// FIFO, so an event older than the window would be re-forwarded — safe
+/// (at worst extra traffic) and keeps long-lived processes at constant
+/// memory. `max_size == 0` means unbounded.
+template <typename Key>
+class SeenSet {
+ public:
+  explicit SeenSet(std::size_t max_size = 0) : max_size_(max_size) {}
+
+  /// Marks `key` seen. Returns true iff this was the first reception —
+  /// the caller delivers and forwards only then (idempotence).
+  bool remember(const Key& key) {
+    if (!seen_.insert(key).second) return false;
+    if (max_size_ > 0) {
+      order_.push_back(key);
+      while (order_.size() > max_size_) {
+        seen_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return seen_.contains(key);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return seen_.size(); }
+  [[nodiscard]] std::size_t max_size() const noexcept { return max_size_; }
+
+ private:
+  std::size_t max_size_;
+  std::unordered_set<Key> seen_;
+  std::deque<Key> order_;  // FIFO eviction order when bounded
+};
+
+}  // namespace dam::core::protocol

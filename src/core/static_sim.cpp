@@ -1,29 +1,13 @@
 #include "core/static_sim.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <deque>
 #include <stdexcept>
+#include <string>
+
+#include "core/frozen_sim.hpp"
+#include "topics/dag.hpp"
 
 namespace dam::core {
-
-namespace {
-
-/// Process coordinates inside the static engine: (level, index-in-group).
-struct Coord {
-  std::uint32_t level;
-  std::uint32_t index;
-};
-
-struct Group {
-  std::size_t size = 0;
-  std::vector<std::vector<std::uint32_t>> topic_table;   // per process
-  std::vector<std::vector<std::uint32_t>> super_table;   // per process
-  std::vector<bool> alive;       // stillborn regime; all-true otherwise
-  std::vector<bool> delivered;
-};
-
-}  // namespace
 
 const TopicParams& params_for_level(const StaticSimConfig& config,
                                     std::size_t level) {
@@ -37,170 +21,53 @@ StaticRunResult run_static_simulation(const StaticSimConfig& config) {
   if (levels == 0) {
     throw std::invalid_argument("run_static_simulation: no groups");
   }
-  for (std::size_t size : config.group_sizes) {
-    if (size == 0) {
-      // The analysis (Sec. VI-A) assumes every group is non-empty.
-      throw std::invalid_argument("run_static_simulation: empty group");
-    }
-  }
-  util::Rng rng(config.seed);
-  const bool stillborn =
-      config.failure_mode == StaticFailureMode::kStillborn;
-  const double fail_probability = 1.0 - config.alive_fraction;
-
-  // --- Build frozen membership tables (Sec. VII-A). -----------------------
-  std::vector<Group> groups(levels);
-  for (std::size_t level = 0; level < levels; ++level) {
-    Group& group = groups[level];
-    group.size = config.group_sizes[level];
-    const TopicParams& params = params_for_level(config, level);
-    group.topic_table.resize(group.size);
-    group.super_table.resize(group.size);
-    group.delivered.assign(group.size, false);
-    group.alive.assign(group.size, true);
-    if (stillborn) {
-      for (std::size_t i = 0; i < group.size; ++i) {
-        if (rng.bernoulli(fail_probability)) group.alive[i] = false;
-      }
-    }
-
-    // Topic table: (b+1)·ln(S) uniform group members (failed ones stay in —
-    // "the membership algorithm does not replace a failed process").
-    const std::size_t view_size =
-        std::min(params.view_capacity(group.size), group.size - 1);
-    std::vector<std::uint32_t> others;
-    others.reserve(group.size - 1);
-    for (std::size_t i = 0; i < group.size; ++i) {
-      others.clear();
-      for (std::uint32_t j = 0; j < group.size; ++j) {
-        if (j != i) others.push_back(j);
-      }
-      group.topic_table[i] = rng.sample(others, view_size);
-    }
-
-    // Supertopic table: z uniform members of the level above (level-1).
-    if (level > 0) {
-      const std::size_t super_size = config.group_sizes[level - 1];
-      std::vector<std::uint32_t> supers(super_size);
-      for (std::uint32_t j = 0; j < super_size; ++j) supers[j] = j;
-      for (std::size_t i = 0; i < group.size; ++i) {
-        group.super_table[i] = rng.sample(supers, params.z);
-      }
-    }
-  }
-
-  StaticRunResult result;
-  result.groups.resize(levels);
-  for (std::size_t level = 0; level < levels; ++level) {
-    result.groups[level].size = groups[level].size;
-    result.groups[level].alive = static_cast<std::size_t>(std::count(
-        groups[level].alive.begin(), groups[level].alive.end(), true));
-  }
-
-  // A message to (level, index) gets through iff the channel coin succeeds
-  // AND the target is (perceived) alive.
-  auto delivered_ok = [&](const TopicParams& params, const Group& target_group,
-                          std::uint32_t target) {
-    if (!rng.bernoulli(params.psucc)) return false;
-    if (stillborn) return static_cast<bool>(target_group.alive[target]);
-    return !rng.bernoulli(fail_probability);  // dynamic perception
-  };
-
-  // --- Pick the publisher. ------------------------------------------------
-  const std::size_t publish_level =
-      config.publish_level.value_or(levels - 1);
+  const std::size_t publish_level = config.publish_level.value_or(levels - 1);
   if (publish_level >= levels) {
     throw std::invalid_argument("run_static_simulation: bad publish level");
   }
-  std::vector<std::uint32_t> alive_candidates;
-  for (std::uint32_t i = 0; i < groups[publish_level].size; ++i) {
-    if (groups[publish_level].alive[i]) alive_candidates.push_back(i);
-  }
-  if (alive_candidates.empty()) {
-    // Nobody can publish; groups with alive members trivially miss the
-    // event, empty ones vacuously receive it.
-    for (std::size_t level = 0; level < levels; ++level) {
-      result.groups[level].all_alive_delivered =
-          result.groups[level].alive == 0;
-    }
-    return result;
-  }
 
-  // --- Synchronous dissemination waves (Fig. 5 + Fig. 7). -----------------
-  auto note_delivery = [&](std::size_t level, std::size_t round) {
-    auto& group_result = result.groups[level];
-    if (!group_result.first_delivery_round) {
-      group_result.first_delivery_round = round;
-    }
-    group_result.last_delivery_round = round;
-  };
-
-  std::deque<Coord> frontier;
-  {
-    const std::uint32_t publisher =
-        alive_candidates[rng.below(alive_candidates.size())];
-    groups[publish_level].delivered[publisher] = true;
-    note_delivery(publish_level, 0);
-    frontier.push_back(
-        Coord{static_cast<std::uint32_t>(publish_level), publisher});
-  }
-
-  std::size_t rounds = 0;
-  while (!frontier.empty()) {
-    ++rounds;
-    std::deque<Coord> next;
-    for (const Coord& coord : frontier) {
-      Group& group = groups[coord.level];
-      const TopicParams& params = params_for_level(config, coord.level);
-      auto& my_result = result.groups[coord.level];
-
-      // (1) Intergroup leg: elect with psel = g/S, then hit each supertopic
-      // table entry with pa = a/z. Root (level 0) has no super table.
-      if (coord.level > 0 && rng.bernoulli(params.psel(group.size))) {
-        Group& super_group = groups[coord.level - 1];
-        for (std::uint32_t target : group.super_table[coord.index]) {
-          if (!rng.bernoulli(params.pa())) continue;
-          ++my_result.inter_sent;
-          if (!delivered_ok(params, super_group, target)) continue;
-          ++result.groups[coord.level - 1].inter_received;
-          if (!super_group.delivered[target]) {
-            super_group.delivered[target] = true;
-            note_delivery(coord.level - 1, rounds);
-            next.push_back(Coord{coord.level - 1, target});
-          }
-        }
-      }
-
-      // (2) Intra-group gossip leg: ln(S)+c distinct targets, without
-      // replacement (the Ω set of Fig. 7).
-      const std::size_t fanout = params.fanout(group.size);
-      const auto targets = rng.sample(group.topic_table[coord.index], fanout);
-      for (std::uint32_t target : targets) {
-        ++my_result.intra_sent;
-        if (!delivered_ok(params, group, target)) continue;
-        if (!group.delivered[target]) {
-          group.delivered[target] = true;
-          note_delivery(coord.level, rounds);
-          next.push_back(Coord{coord.level, target});
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-
-  // --- Final accounting. ---------------------------------------------------
-  result.rounds = rounds;
+  // A linear hierarchy is a path DAG: add topics root-first so topic id ==
+  // level, which also keeps the seed stream identical to the historical
+  // standalone engine.
+  topics::TopicDag dag;
+  std::vector<topics::DagTopicId> ids;
+  ids.reserve(levels);
   for (std::size_t level = 0; level < levels; ++level) {
-    const Group& group = groups[level];
-    auto& group_result = result.groups[level];
-    std::size_t delivered = 0;
-    for (std::size_t i = 0; i < group.size; ++i) {
-      if (group.alive[i] && group.delivered[i]) ++delivered;
-    }
-    group_result.delivered = delivered;
-    group_result.all_alive_delivered = delivered == group_result.alive;
-    result.total_messages +=
-        group_result.intra_sent + group_result.inter_sent;
+    ids.push_back(dag.add_topic("L" + std::to_string(level)));
+    if (level > 0) dag.add_super(ids[level], ids[level - 1]);
+  }
+
+  FrozenSimConfig frozen;
+  frozen.dag = &dag;
+  frozen.group_sizes = config.group_sizes;
+  frozen.params = config.params;
+  frozen.alive_fraction = config.alive_fraction;
+  frozen.failure_mode = config.failure_mode == StaticFailureMode::kStillborn
+                            ? FrozenFailureMode::kStillborn
+                            : FrozenFailureMode::kDynamicPerception;
+  frozen.publish_topic = ids[publish_level];
+  frozen.seed = config.seed;
+  const FrozenRunResult run = run_frozen_simulation(frozen);
+
+  StaticRunResult result;
+  result.rounds = run.rounds;
+  result.total_messages = run.total_messages;
+  result.groups.resize(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    const FrozenGroupResult& from = run.groups[level];
+    StaticGroupResult& to = result.groups[level];
+    to.size = from.size;
+    to.alive = from.alive;
+    to.intra_sent = from.intra_sent;
+    to.inter_sent = from.inter_sent;
+    to.inter_received = from.inter_received;
+    to.delivered = from.delivered;
+    // Historical semantics: a group is "all delivered" iff every alive
+    // member delivered — groups below the publish level are NOT treated as
+    // vacuously correct (unlike the DAG view's clean-group rule).
+    to.all_alive_delivered = from.delivered == from.alive;
+    to.first_delivery_round = from.first_delivery_round;
+    to.last_delivery_round = from.last_delivery_round;
   }
   return result;
 }

@@ -1,22 +1,24 @@
-// StaticSimulation — the paper's Section VII experiment engine.
+// StaticSimulation — the paper's Section VII experiment setting, as a thin
+// adapter over the unified frozen-table engine (core/frozen_sim.hpp).
 //
-// Reproduces the evaluation setting exactly:
+// Historically this was a standalone engine with its own copy of the
+// protocol decision logic; today it only translates the linear-hierarchy
+// config below into a path TopicDag and hands off to
+// run_frozen_simulation, which routes every decision (election psel,
+// per-entry pa, fanout without replacement, forward on first reception)
+// through the shared protocol kernel (core/protocol.hpp). The config and
+// result structs are preserved so the Figure 8–11 benches and the damsim
+// tool keep compiling unchanged; per-seed counters are bit-for-bit
+// identical to the historical engine (tests/core/engine_agreement_test.cpp).
+//
+// The setting it reproduces:
 //   * a linear hierarchy of `levels` topics (index 0 = root T0);
-//   * membership tables (topic + supertopic) drawn uniformly at random and
-//     FROZEN for the whole run ("these tables are initialized at the
-//     beginning of the simulation and do not change");
+//   * membership tables drawn uniformly at random and FROZEN for the run;
 //   * failed processes are NOT replaced in any table (pessimistic);
-//   * one event is published in the bottom-most group and disseminated in
+//   * one event published in the bottom-most group, disseminated in
 //     synchronous gossip rounds until quiescence;
 //   * two failure regimes: stillborn (Figs. 8–10) and dynamic perception
 //     (Fig. 11).
-//
-// The engine is intentionally separate from DamNode/DamSystem: the figure
-// benches need tens of thousands of runs, and the frozen-table regime makes
-// the full message-passing machinery unnecessary. The protocol *decision
-// logic* (election psel, per-entry pa, fanout without replacement, forward
-// on first reception) is the same as DamNode's; an integration test checks
-// the two engines agree on Fig. 9's intergroup-message law.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +26,6 @@
 #include <vector>
 
 #include "core/params.hpp"
-#include "util/rng.hpp"
 
 namespace dam::core {
 

@@ -1,12 +1,18 @@
 #include "net/transport.hpp"
 
+#include "core/protocol.hpp"
+
 namespace dam::net {
+
+// The channel coin is the protocol kernel's — one definition of the psucc
+// law for every engine (see core/protocol.hpp).
+using core::protocol::channel_delivers;
 
 void Transport::send(Message msg, sim::Round now) {
   ++stats_.sent;
   stats_.bytes_sent += encoded_size(msg);
   msg.sent_at = now;
-  if (config_.loss_at_send && !rng_.bernoulli(config_.psucc)) {
+  if (config_.loss_at_send && !channel_delivers(config_.psucc, rng_)) {
     ++stats_.lost_channel;
     return;
   }
@@ -22,7 +28,7 @@ void Transport::deliver_round(
   std::vector<Message> batch = std::move(it->second);
   in_flight_.erase(it);
   for (const Message& msg : batch) {
-    if (!config_.loss_at_send && !rng_.bernoulli(config_.psucc)) {
+    if (!config_.loss_at_send && !channel_delivers(config_.psucc, rng_)) {
       ++stats_.lost_channel;
       continue;
     }

@@ -1,27 +1,22 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace dam::sim {
 
 std::uint64_t EventQueue::schedule_at(Round when, Callback fn) {
   const std::uint64_t token = next_seq_++;
-  heap_.push(Entry{when, token, std::move(fn), false});
-  ++pending_count_;
+  heap_.push(Entry{when, token, std::move(fn)});
+  alive_.insert(token);
   return token;
 }
 
 bool EventQueue::cancel(std::uint64_t token) {
-  // Tokens are sequence numbers; a pending token is one issued but not yet
-  // executed nor previously cancelled.
-  if (token >= next_seq_) return false;
-  if (std::find(cancelled_.begin(), cancelled_.end(), token) !=
-      cancelled_.end()) {
-    return false;
-  }
-  cancelled_.push_back(token);
-  if (pending_count_ > 0) --pending_count_;
+  // Only tokens that are scheduled and neither fired nor already cancelled
+  // are pending; everything else is a no-op. Both sets give O(1) cancels
+  // regardless of how many events are in flight.
+  if (alive_.erase(token) == 0) return false;
+  cancelled_.insert(token);
   return true;
 }
 
@@ -36,12 +31,8 @@ std::size_t EventQueue::run_until(Round upto) {
     // priority_queue::top returns const&; we need to move the callback out.
     Entry entry = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), entry.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    --pending_count_;
+    if (cancelled_.erase(entry.seq) > 0) continue;
+    alive_.erase(entry.seq);
     entry.fn();
     ++executed;
   }

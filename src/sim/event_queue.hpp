@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -25,11 +26,9 @@ class EventQueue {
   /// no-op. Returns true if the event was still pending.
   bool cancel(std::uint64_t token);
 
-  [[nodiscard]] bool empty() const noexcept {
-    return pending_count_ == 0;
-  }
+  [[nodiscard]] bool empty() const noexcept { return alive_.empty(); }
 
-  [[nodiscard]] std::size_t pending() const noexcept { return pending_count_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return alive_.size(); }
 
   /// Round of the earliest pending event. Precondition: !empty().
   [[nodiscard]] Round next_round() const;
@@ -44,7 +43,6 @@ class EventQueue {
     Round when;
     std::uint64_t seq;
     Callback fn;
-    bool cancelled = false;
 
     // min-heap by (when, seq)
     friend bool operator>(const Entry& a, const Entry& b) noexcept {
@@ -53,12 +51,11 @@ class EventQueue {
     }
   };
 
-  void pop_cancelled();
-
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<std::uint64_t> cancelled_;  // tokens awaiting removal
+  std::unordered_set<std::uint64_t> alive_;      // scheduled, not yet fired
+                                                 // or cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // awaiting lazy heap removal
   std::uint64_t next_seq_ = 0;
-  std::size_t pending_count_ = 0;
 };
 
 }  // namespace dam::sim

@@ -1,0 +1,280 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace dam::sim {
+
+topics::TopicDag Scenario::build_dag() const {
+  topics::TopicDag dag;
+  std::vector<topics::DagTopicId> ids;
+  ids.reserve(topic_names.size());
+  for (const std::string& topic : topic_names) {
+    ids.push_back(dag.add_topic(topic));
+  }
+  for (const auto& [child, parent] : super_edges) {
+    if (child >= ids.size() || parent >= ids.size()) {
+      throw std::invalid_argument("Scenario: edge references unknown topic");
+    }
+    dag.add_super(ids[child], ids[parent]);
+  }
+  return dag;
+}
+
+core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
+                                           double alive_fraction,
+                                           int run) const {
+  core::FrozenSimConfig config;
+  config.dag = &dag;
+  config.group_sizes = group_sizes;
+  config.params = params;
+  config.alive_fraction = alive_fraction;
+  config.failure_mode = failure_mode;
+  config.publish_topic = topics::DagTopicId{publish_topic};
+  config.seed = base_seed + static_cast<std::uint64_t>(run) * 7919 +
+                static_cast<std::uint64_t>(std::lround(alive_fraction * 1000.0));
+  return config;
+}
+
+std::vector<ScenarioPoint> run_scenario(const Scenario& scenario) {
+  const topics::TopicDag dag = scenario.build_dag();
+  if (scenario.group_sizes.size() != dag.size()) {
+    throw std::invalid_argument(
+        "run_scenario: group_sizes must cover every topic");
+  }
+  std::vector<ScenarioPoint> points;
+  points.reserve(scenario.alive_sweep.size());
+  for (double alive : scenario.alive_sweep) {
+    ScenarioPoint point;
+    point.alive_fraction = alive;
+    point.groups.resize(dag.size());
+    for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+      point.groups[topic].topic = scenario.topic_names[topic];
+      point.groups[topic].size = scenario.group_sizes[topic];
+    }
+    for (int run = 0; run < scenario.runs; ++run) {
+      const auto result = core::run_frozen_simulation(
+          scenario.config_for(dag, alive, run));
+      point.total_messages.add(static_cast<double>(result.total_messages));
+      point.rounds.add(static_cast<double>(result.rounds));
+      for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+        const core::FrozenGroupResult& group = result.groups[topic];
+        ScenarioGroupStats& stats = point.groups[topic];
+        stats.intra_sent.add(static_cast<double>(group.intra_sent));
+        stats.inter_sent.add(static_cast<double>(group.inter_sent));
+        stats.inter_received.add(static_cast<double>(group.inter_received));
+        stats.any_inter_received.add(group.inter_received > 0);
+        stats.duplicate_deliveries.add(
+            static_cast<double>(group.duplicate_deliveries));
+        if (group.alive > 0) {
+          // Skip vacuous runs (no alive member): a ratio of 1.0 there
+          // would artificially inflate reliability curves at low x.
+          stats.delivery_ratio.add(group.delivery_ratio());
+          stats.all_alive_delivered.add(group.all_alive_delivered);
+        }
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Scenario make_linear_scenario(std::string name, std::string summary,
+                              std::vector<std::size_t> sizes) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.summary = std::move(summary);
+  for (std::uint32_t level = 0; level < sizes.size(); ++level) {
+    // Built with += rather than operator+ to sidestep GCC's -Wrestrict
+    // false positive on inlined string concatenation (GCC bug 105329).
+    std::string topic = "T";
+    topic += std::to_string(level);
+    scenario.topic_names.push_back(std::move(topic));
+    if (level > 0) scenario.super_edges.emplace_back(level, level - 1);
+  }
+  scenario.group_sizes = std::move(sizes);
+  scenario.publish_topic =
+      static_cast<std::uint32_t>(scenario.topic_names.size() - 1);
+  return scenario;
+}
+
+namespace {
+
+std::vector<double> full_sweep() {
+  return {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> presets;
+
+  // --- Paper figures (Sec. VII): linear T0 ⊃ T1 ⊃ T2, 10/100/1000. -------
+  {
+    Scenario s = make_linear_scenario(
+        "fig8", "Fig. 8: events sent in each group, stillborn failures",
+        {10, 100, 1000});
+    s.alive_sweep = full_sweep();
+    s.runs = 60;
+    s.base_seed = 0xF18;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "fig9", "Fig. 9: intergroup events per boundary, stillborn failures",
+        {10, 100, 1000});
+    s.alive_sweep = full_sweep();
+    s.runs = 200;
+    s.base_seed = 0xF19;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "fig10", "Fig. 10: reliability under stillborn failures",
+        {10, 100, 1000});
+    s.alive_sweep = full_sweep();
+    s.runs = 200;
+    s.base_seed = 0xF10;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "fig11",
+        "Fig. 11: reliability under dynamically perceived failures",
+        {10, 100, 1000});
+    s.failure_mode = core::FrozenFailureMode::kDynamicPerception;
+    s.alive_sweep = full_sweep();
+    s.runs = 200;
+    s.base_seed = 0xF11;
+    presets.push_back(std::move(s));
+  }
+
+  // --- DAG topologies (the conclusion's multiple-inheritance extension). --
+  {
+    Scenario s;
+    s.name = "dag-diamond";
+    s.summary =
+        "Diamond DAG (B under M1+M2 under A): redundancy of two upward paths";
+    s.topic_names = {"A", "M1", "M2", "B"};
+    s.super_edges = {{1, 0}, {2, 0}, {3, 1}, {3, 2}};
+    s.group_sizes = {10, 50, 50, 1000};
+    core::TopicParams params;
+    params.psucc = 0.6;  // lossy, so upward-path redundancy is visible
+    s.params = {params};
+    s.publish_topic = 3;
+    s.runs = 200;
+    s.base_seed = 0xD1A;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "dag-wide";
+    s.summary =
+        "Three-parent DAG: one bottom topic feeding three disjoint supers";
+    s.topic_names = {"P1", "P2", "P3", "B"};
+    s.super_edges = {{3, 0}, {3, 1}, {3, 2}};
+    s.group_sizes = {30, 30, 30, 600};
+    s.publish_topic = 3;
+    s.alive_sweep = {0.6, 0.8, 1.0};
+    s.runs = 120;
+    s.base_seed = 0xDA6;
+    presets.push_back(std::move(s));
+  }
+
+  // --- Failure-regime and knob studies. -----------------------------------
+  {
+    Scenario s = make_linear_scenario(
+        "churn",
+        "Deep hierarchy under heavy perceived churn (weak membership)",
+        {10, 50, 100, 500, 1000});
+    s.failure_mode = core::FrozenFailureMode::kDynamicPerception;
+    s.alive_sweep = {0.3, 0.5, 0.7, 0.9};
+    s.runs = 120;
+    s.base_seed = 0xC4B;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "ablation-lean",
+        "Minimal intergroup budget (g=1, a=1, z=1) on lossy channels",
+        {10, 100, 500});
+    core::TopicParams params;
+    params.g = 1.0;
+    params.a = 1.0;
+    params.z = 1;
+    params.psucc = 0.5;
+    s.params = {params};
+    s.alive_sweep = {1.0};
+    s.runs = 250;
+    s.base_seed = 0xAB1;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "ablation-aggressive",
+        "Aggressive intergroup budget (g=20, a=3, z=8) on lossy channels",
+        {10, 100, 500});
+    core::TopicParams params;
+    params.g = 20.0;
+    params.a = 3.0;
+    params.z = 8;
+    params.psucc = 0.5;
+    s.params = {params};
+    s.alive_sweep = {1.0};
+    s.runs = 250;
+    s.base_seed = 0xAB2;
+    presets.push_back(std::move(s));
+  }
+
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_registry() {
+  static const std::vector<Scenario> kRegistry = build_registry();
+  return kRegistry;
+}
+
+void print_scenario_report(const Scenario& scenario,
+                           const std::vector<ScenarioPoint>& points,
+                           std::ostream& out, util::CsvWriter* csv) {
+  std::vector<std::string> columns{"alive"};
+  for (const std::string& topic : scenario.topic_names) {
+    columns.push_back(topic + " intra");
+    columns.push_back(topic + " inter>");
+    columns.push_back(topic + " recv");
+    columns.push_back(topic + " >=1");  // P(any intergroup arrival) — the
+                                        // paper's Fig. 9 headline column
+    columns.push_back(topic + " frac");
+    columns.push_back(topic + " all");
+  }
+  columns.push_back("total msgs");
+  columns.push_back("rounds");
+  util::ConsoleTable table(columns);
+  if (csv != nullptr) csv->header(columns);
+  for (const ScenarioPoint& point : points) {
+    std::vector<std::string> cells{util::fixed(point.alive_fraction, 2)};
+    for (const ScenarioGroupStats& group : point.groups) {
+      cells.push_back(util::fixed(group.intra_sent.mean(), 1));
+      cells.push_back(util::fixed(group.inter_sent.mean(), 2));
+      cells.push_back(util::fixed(group.inter_received.mean(), 2));
+      cells.push_back(util::fixed(group.any_inter_received.estimate(), 2));
+      cells.push_back(util::fixed(group.delivery_ratio.mean(), 3));
+      cells.push_back(util::fixed(group.all_alive_delivered.estimate(), 2));
+    }
+    cells.push_back(util::fixed(point.total_messages.mean(), 0));
+    cells.push_back(util::fixed(point.rounds.mean(), 1));
+    table.row_strings(cells);
+    if (csv != nullptr) csv->row_strings(cells);
+  }
+  table.print(out);
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario& scenario : scenario_registry()) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+}  // namespace dam::sim

@@ -1,0 +1,115 @@
+// Scenario layer — declarative workload descriptions for the frozen-table
+// engine, plus a registry of named presets.
+//
+// A Scenario captures everything one experiment needs: topology shape
+// (arbitrary topic DAG; a linear hierarchy is a path), group sizes,
+// per-topic TopicParams, failure regime, publish pattern, and the sweep of
+// alive fractions with the run count per point. New workloads are configs,
+// not new binaries: benches (bench/bench_common.hpp) and the damsim tool
+// both drive the same presets, and `damsim --list-scenarios` enumerates
+// them.
+//
+// Layering: protocol kernel (core/protocol) → unified engine
+// (core/frozen_sim) → this scenario layer → benches/tools.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/frozen_sim.hpp"
+#include "topics/dag.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace dam::sim {
+
+struct Scenario {
+  std::string name;     ///< registry key (e.g. "fig9")
+  std::string summary;  ///< one-line description for --list-scenarios
+
+  /// Topology: topic names in insertion order (index == DagTopicId::value)
+  /// and supertopic edges as (child index, parent index) pairs. A path
+  /// listed root-first reproduces the paper's linear hierarchy.
+  std::vector<std::string> topic_names;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> super_edges;
+
+  /// Subscribers per topic, aligned with topic_names.
+  std::vector<std::size_t> group_sizes;
+
+  /// Per-topic parameters (reuse-last rule, like FrozenSimConfig).
+  std::vector<core::TopicParams> params{core::TopicParams{}};
+
+  core::FrozenFailureMode failure_mode =
+      core::FrozenFailureMode::kStillborn;
+
+  /// X axis: alive fractions to sweep (a single point is a sweep of one).
+  std::vector<double> alive_sweep{1.0};
+
+  /// Topic index the event is published in.
+  std::uint32_t publish_topic = 0;
+
+  /// Simulation runs per sweep point and the base seed; run r of point p
+  /// uses seed base_seed + r * 7919 + round(alive * 1000).
+  int runs = 100;
+  std::uint64_t base_seed = 1;
+
+  /// Materializes the topology. Throws std::invalid_argument on bad edges
+  /// (TopicDag validates acyclicity).
+  [[nodiscard]] topics::TopicDag build_dag() const;
+
+  /// Engine config for one (alive fraction, run index) cell. `dag` must
+  /// outlive the returned config and come from build_dag().
+  [[nodiscard]] core::FrozenSimConfig config_for(const topics::TopicDag& dag,
+                                                 double alive_fraction,
+                                                 int run) const;
+};
+
+/// Aggregates over the runs of one sweep point, per group.
+struct ScenarioGroupStats {
+  std::string topic;
+  std::size_t size = 0;
+  util::Accumulator intra_sent;
+  util::Accumulator inter_sent;
+  util::Accumulator inter_received;
+  util::Accumulator delivery_ratio;      ///< over runs with alive members
+  util::Proportion all_alive_delivered;  ///< over runs with alive members
+  util::Proportion any_inter_received;   ///< P(>= 1 intergroup arrival)
+  util::Accumulator duplicate_deliveries;
+};
+
+struct ScenarioPoint {
+  double alive_fraction = 1.0;
+  std::vector<ScenarioGroupStats> groups;  ///< indexed by topic
+  util::Accumulator total_messages;
+  util::Accumulator rounds;
+};
+
+/// Runs every (alive fraction × run) cell of the scenario to quiescence
+/// and returns one aggregated point per sweep entry.
+[[nodiscard]] std::vector<ScenarioPoint> run_scenario(
+    const Scenario& scenario);
+
+/// The named presets (fig8–fig11, dag-diamond, churn, ablations, ...).
+[[nodiscard]] const std::vector<Scenario>& scenario_registry();
+
+/// Registry lookup by name; nullptr when absent.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// Builds a paper-style linear-hierarchy scenario (topics "T0".."Tn",
+/// root-first) — the shared skeleton of the fig8–fig11 presets.
+[[nodiscard]] Scenario make_linear_scenario(std::string name,
+                                            std::string summary,
+                                            std::vector<std::size_t> sizes);
+
+/// Renders the aggregated sweep as an aligned console table (one row per
+/// alive fraction; per-group intra/inter/reliability columns). When `csv`
+/// is non-null the same rows are mirrored there, header included.
+void print_scenario_report(const Scenario& scenario,
+                           const std::vector<ScenarioPoint>& points,
+                           std::ostream& out, util::CsvWriter* csv = nullptr);
+
+}  // namespace dam::sim

@@ -112,9 +112,9 @@ TEST(Reliability, PitBinomialMonotone) {
 }
 
 TEST(Reliability, PitBinomialRejectsBadPsucc) {
-  EXPECT_THROW(pit_binomial(10, 0.5, 1.0, 0.5, 3, -0.1),
+  EXPECT_THROW((void)pit_binomial(10, 0.5, 1.0, 0.5, 3, -0.1),
                std::invalid_argument);
-  EXPECT_THROW(pit_binomial(10, 0.5, 1.0, 0.5, 3, 1.1),
+  EXPECT_THROW((void)pit_binomial(10, 0.5, 1.0, 0.5, 3, 1.1),
                std::invalid_argument);
 }
 
@@ -152,7 +152,7 @@ TEST(ParityVsMulticast, FeasibleRangeAndC1) {
 TEST(ParityVsMulticast, InfeasibleCThrows) {
   const double pit_value = 0.99;
   const double c_max = c_upper_vs_multicast(pit_value);
-  EXPECT_THROW(c1_for_multicast_parity(c_max + 1.0, pit_value),
+  EXPECT_THROW((void)c1_for_multicast_parity(c_max + 1.0, pit_value),
                std::invalid_argument);
 }
 
@@ -215,10 +215,10 @@ TEST(ParityVsHierarchical, ZBoundFinite) {
 }
 
 TEST(Guards, RejectBadPit) {
-  EXPECT_THROW(c_upper_vs_multicast(0.0), std::invalid_argument);
-  EXPECT_THROW(c_upper_vs_multicast(1.5), std::invalid_argument);
-  EXPECT_THROW(pit(10, 0.5, 1.0, 0.5, 3, 1.5), std::invalid_argument);
-  EXPECT_THROW(dam_reliability({}), std::invalid_argument);
+  EXPECT_THROW((void)c_upper_vs_multicast(0.0), std::invalid_argument);
+  EXPECT_THROW((void)c_upper_vs_multicast(1.5), std::invalid_argument);
+  EXPECT_THROW((void)pit(10, 0.5, 1.0, 0.5, 3, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)dam_reliability({}), std::invalid_argument);
 }
 
 TEST(Guards, PitOfOneGivesInfiniteHeadroom) {

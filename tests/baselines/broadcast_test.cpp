@@ -57,7 +57,7 @@ TEST(Broadcast, MemoryFormula) {
 TEST(Broadcast, RejectsBadPublishLevel) {
   Scenario scenario;
   scenario.publish_level = 9;
-  EXPECT_THROW(run_broadcast(scenario), std::invalid_argument);
+  EXPECT_THROW((void)run_broadcast(scenario), std::invalid_argument);
 }
 
 }  // namespace

@@ -71,12 +71,12 @@ TEST(FlatGossip, DynamicPerceptionKeepsPopulationAlive) {
 
 TEST(FlatGossip, RejectsBadSpecs) {
   FlatGossipSpec empty;
-  EXPECT_THROW(run_flat_gossip(empty), std::invalid_argument);
+  EXPECT_THROW((void)run_flat_gossip(empty), std::invalid_argument);
 
   FlatGossipSpec bad_mask;
   bad_mask.population = 10;
   bad_mask.interested.assign(5, true);  // wrong size
-  EXPECT_THROW(run_flat_gossip(bad_mask), std::invalid_argument);
+  EXPECT_THROW((void)run_flat_gossip(bad_mask), std::invalid_argument);
 }
 
 TEST(FlatGossip, DeterministicForSeed) {

@@ -71,7 +71,7 @@ TEST(Hierarchical, MemoryFormula) {
 TEST(Hierarchical, RejectsBadPublishLevel) {
   Scenario scenario;
   scenario.publish_level = 7;
-  EXPECT_THROW(run_hierarchical(scenario, HierarchicalConfig{}),
+  EXPECT_THROW((void)run_hierarchical(scenario, HierarchicalConfig{}),
                std::invalid_argument);
 }
 

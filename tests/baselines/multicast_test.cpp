@@ -65,14 +65,14 @@ TEST(Multicast, MemoryGrowsWithTableCount) {
 }
 
 TEST(Multicast, MemoryRejectsBadLevel) {
-  EXPECT_THROW(multicast_memory_per_process({10, 100}, 5, 5.0),
+  EXPECT_THROW((void)multicast_memory_per_process({10, 100}, 5, 5.0),
                std::invalid_argument);
 }
 
 TEST(Multicast, RejectsBadPublishLevel) {
   Scenario scenario;
   scenario.publish_level = 9;
-  EXPECT_THROW(run_multicast(scenario), std::invalid_argument);
+  EXPECT_THROW((void)run_multicast(scenario), std::invalid_argument);
 }
 
 }  // namespace

@@ -74,9 +74,54 @@ TEST(EventQueue, CancelIsIdempotent) {
   EXPECT_FALSE(queue.cancel(9999));
 }
 
+TEST(EventQueue, CancellingAFiredEventIsANoOp) {
+  EventQueue queue;
+  int fired = 0;
+  const auto token = queue.schedule_at(1, [&] { ++fired; });
+  queue.schedule_at(2, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(1), 1u);
+  EXPECT_FALSE(queue.cancel(token));  // already executed
+  EXPECT_EQ(queue.pending(), 1u);     // the round-2 event is untouched
+  EXPECT_EQ(queue.run_until(2), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelHeavyWorkloadStaysConsistent) {
+  // Timer-churn regression for the O(1) cancel path: schedule a large
+  // batch, cancel every other token (typical of reset-on-activity timers),
+  // reschedule over the holes, and verify exactly the survivors fire, in
+  // (round, seq) order.
+  constexpr int kBatch = 10000;
+  EventQueue queue;
+  std::vector<std::uint64_t> tokens;
+  std::vector<int> fired;
+  tokens.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    tokens.push_back(queue.schedule_at(
+        static_cast<Round>(1 + i % 7), [&fired, i] { fired.push_back(i); }));
+  }
+  std::size_t cancelled = 0;
+  for (int i = 0; i < kBatch; i += 2) {
+    EXPECT_TRUE(queue.cancel(tokens[i]));
+    EXPECT_FALSE(queue.cancel(tokens[i]));  // double-cancel stays false
+    ++cancelled;
+  }
+  EXPECT_EQ(queue.pending(), kBatch - cancelled);
+  // Replacement timers land in later rounds, as a real reset would.
+  for (int i = 0; i < 100; ++i) {
+    queue.schedule_at(8, [&fired, i] { fired.push_back(kBatch + i); });
+  }
+  EXPECT_EQ(queue.run_until(100), kBatch - cancelled + 100);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(fired.size(), kBatch - cancelled + 100);
+  for (int index : fired) {
+    EXPECT_TRUE(index >= kBatch || index % 2 == 1) << index;
+  }
+}
+
 TEST(EventQueue, NextRoundReportsEarliest) {
   EventQueue queue;
-  EXPECT_THROW(queue.next_round(), std::logic_error);
+  EXPECT_THROW((void)queue.next_round(), std::logic_error);
   queue.schedule_at(7, [] {});
   queue.schedule_at(3, [] {});
   EXPECT_EQ(queue.next_round(), 3u);

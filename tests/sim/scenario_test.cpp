@@ -1,0 +1,107 @@
+// The scenario layer: registry presets, topology building, and the
+// aggregation in run_scenario.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dam::sim {
+namespace {
+
+TEST(ScenarioRegistry, HasAtLeastSixUniquePresets) {
+  const auto& registry = scenario_registry();
+  EXPECT_GE(registry.size(), 6u);
+  std::unordered_set<std::string> names;
+  for (const Scenario& scenario : registry) {
+    EXPECT_TRUE(names.insert(scenario.name).second)
+        << "duplicate preset " << scenario.name;
+    EXPECT_FALSE(scenario.summary.empty()) << scenario.name;
+  }
+}
+
+TEST(ScenarioRegistry, EveryPresetIsWellFormed) {
+  for (const Scenario& scenario : scenario_registry()) {
+    SCOPED_TRACE(scenario.name);
+    const topics::TopicDag dag = scenario.build_dag();
+    EXPECT_EQ(dag.size(), scenario.topic_names.size());
+    EXPECT_EQ(scenario.group_sizes.size(), dag.size());
+    EXPECT_LT(scenario.publish_topic, dag.size());
+    EXPECT_FALSE(scenario.alive_sweep.empty());
+    EXPECT_GT(scenario.runs, 0);
+    for (const core::TopicParams& params : scenario.params) {
+      EXPECT_NO_THROW(params.validate());
+    }
+  }
+}
+
+TEST(ScenarioRegistry, EveryPresetRunsEndToEnd) {
+  // One cheap run per preset (single sweep point, few runs) must complete
+  // and produce sane aggregates — this is what backs
+  // `damsim --scenario=<name>` for every listed name.
+  for (const Scenario& preset : scenario_registry()) {
+    SCOPED_TRACE(preset.name);
+    Scenario scenario = preset;
+    scenario.alive_sweep = {scenario.alive_sweep.back()};
+    scenario.runs = 3;
+    const auto points = run_scenario(scenario);
+    ASSERT_EQ(points.size(), 1u);
+    ASSERT_EQ(points[0].groups.size(), scenario.topic_names.size());
+    EXPECT_EQ(points[0].rounds.count(), 3u);
+    // The publish group always delivers at least the publisher when any
+    // member is alive.
+    if (scenario.alive_sweep[0] > 0.0) {
+      EXPECT_GT(points[0].groups[scenario.publish_topic].delivery_ratio.mean(),
+                0.0);
+    }
+  }
+}
+
+TEST(Scenario, FindScenarioLooksUpByName) {
+  EXPECT_NE(find_scenario("fig9"), nullptr);
+  EXPECT_EQ(find_scenario("fig9")->name, "fig9");
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(Scenario, MakeLinearScenarioBuildsARootFirstPath) {
+  const Scenario scenario =
+      make_linear_scenario("path", "a path", {10, 100, 1000});
+  EXPECT_EQ(scenario.topic_names,
+            (std::vector<std::string>{"T0", "T1", "T2"}));
+  EXPECT_EQ(scenario.publish_topic, 2u);
+  const topics::TopicDag dag = scenario.build_dag();
+  EXPECT_TRUE(dag.is_root(topics::DagTopicId{0}));
+  EXPECT_TRUE(dag.includes(topics::DagTopicId{0}, topics::DagTopicId{2}));
+  EXPECT_FALSE(dag.includes(topics::DagTopicId{2}, topics::DagTopicId{0}));
+}
+
+TEST(Scenario, BadEdgeIndexThrows) {
+  Scenario scenario = make_linear_scenario("bad", "bad", {10, 20});
+  scenario.super_edges.emplace_back(5, 0);
+  EXPECT_THROW(scenario.build_dag(), std::invalid_argument);
+}
+
+TEST(Scenario, RunsAreDeterministicPerSeed) {
+  Scenario scenario = make_linear_scenario("det", "determinism", {10, 100});
+  scenario.runs = 5;
+  scenario.alive_sweep = {0.8};
+  const auto a = run_scenario(scenario);
+  const auto b = run_scenario(scenario);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a[0].total_messages.mean(), b[0].total_messages.mean());
+  EXPECT_DOUBLE_EQ(a[0].groups[1].intra_sent.mean(),
+                   b[0].groups[1].intra_sent.mean());
+}
+
+TEST(Scenario, VacuousRunsAreExcludedFromReliability) {
+  Scenario scenario = make_linear_scenario("dead", "all dead", {5, 10});
+  scenario.alive_sweep = {0.0};
+  scenario.runs = 4;
+  const auto points = run_scenario(scenario);
+  // Nobody alive: no delivery-ratio samples at all, rather than fake 1.0s.
+  EXPECT_EQ(points[0].groups[0].delivery_ratio.count(), 0u);
+  EXPECT_EQ(points[0].groups[1].all_alive_delivered.trials, 0u);
+}
+
+}  // namespace
+}  // namespace dam::sim

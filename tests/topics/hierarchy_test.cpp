@@ -44,7 +44,7 @@ TEST(TopicHierarchy, SuperRelations) {
   EXPECT_EQ(hierarchy.super(abc), ab);
   EXPECT_EQ(hierarchy.super(ab), a);
   EXPECT_EQ(hierarchy.super(a), kRootTopic);
-  EXPECT_THROW(hierarchy.super(kRootTopic), std::logic_error);
+  EXPECT_THROW((void)hierarchy.super(kRootTopic), std::logic_error);
 }
 
 TEST(TopicHierarchy, IncludesMatrix) {

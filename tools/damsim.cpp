@@ -1,16 +1,18 @@
-// damsim — command-line driver for the paper's simulation engine.
+// damsim — command-line driver for the unified frozen-table engine.
 //
-// Runs the frozen-table daMulticast simulator (the engine behind Figures
-// 8–11) with every parameter exposed as a flag, printing a per-group
-// summary table and optionally a CSV sweep over alive fractions.
-//
-//   damsim --sizes=10,100,1000 --alive=0.7 --runs=100
-//   damsim --sweep --csv=out.csv --g=10 --z=5
-//   damsim --publish-level=0 --runs=20
+// Two modes:
+//  * ad-hoc linear hierarchy, every parameter exposed as a flag:
+//      damsim --sizes=10,100,1000 --alive=0.7 --runs=100
+//      damsim --sweep --csv=out.csv --g=10 --z=5
+//      damsim --publish-level=0 --runs=20
+//  * named scenario presets from the registry (src/sim/scenario.cpp):
+//      damsim --list-scenarios
+//      damsim --scenario=fig9 [--csv=out.csv] [--runs=N]
 #include <iostream>
 #include <memory>
 
 #include "core/static_sim.hpp"
+#include "sim/scenario.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -53,6 +55,40 @@ Row run_point(const dam::core::StaticSimConfig& base, double alive,
   return row;
 }
 
+int list_scenarios() {
+  std::cout << "available scenarios:\n";
+  for (const dam::sim::Scenario& scenario : dam::sim::scenario_registry()) {
+    std::cout << "  " << scenario.name;
+    for (std::size_t pad = scenario.name.size(); pad < 22; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << scenario.summary << "\n";
+  }
+  std::cout << "\nrun one with: damsim --scenario=<name>\n";
+  return 0;
+}
+
+int run_named_scenario(const std::string& name, const std::string& csv_path,
+                       std::int64_t runs_override) {
+  const dam::sim::Scenario* preset = dam::sim::find_scenario(name);
+  if (preset == nullptr) {
+    std::cerr << "damsim: unknown scenario '" << name
+              << "' (see --list-scenarios)\n";
+    return 2;
+  }
+  dam::sim::Scenario scenario = *preset;
+  if (runs_override > 0) scenario.runs = static_cast<int>(runs_override);
+  std::cout << "\n=== scenario " << scenario.name << " ===\n"
+            << scenario.summary << "\n\n";
+  const auto points = dam::sim::run_scenario(scenario);
+  std::unique_ptr<dam::util::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<dam::util::CsvWriter>(csv_path);
+  }
+  dam::sim::print_scenario_report(scenario, points, std::cout, csv.get());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +112,9 @@ int main(int argc, char** argv) {
   args.add_flag("sweep", "sweep alive fraction 0.0..1.0 instead of one point");
   args.add_flag("dynamic",
                 "use the weakly-consistent (Fig. 11) failure regime");
+  args.add_flag("list-scenarios", "list the named scenario presets and exit");
+  args.add_option("scenario", "",
+                  "run a named scenario preset instead of the flag-built one");
 
   try {
     args.parse(argc, argv);
@@ -87,18 +126,34 @@ int main(int argc, char** argv) {
     std::cout << args.help_text();
     return 0;
   }
+  if (args.flag("list-scenarios")) return list_scenarios();
+  if (!args.str("scenario").empty()) {
+    // Presets carry their own run count; an explicit --runs overrides it.
+    std::int64_t runs_override = 0;
+    try {
+      if (args.provided("runs")) runs_override = args.integer("runs");
+    } catch (const util::ArgError& error) {
+      std::cerr << "damsim: " << error.what() << "\n";
+      return 2;
+    }
+    return run_named_scenario(args.str("scenario"), args.str("csv"),
+                              runs_override);
+  }
 
   core::StaticSimConfig base;
-  base.group_sizes = args.size_list("sizes");
   core::TopicParams params;
-  params.b = args.real("b");
-  params.c = args.real("c");
-  params.g = args.real("g");
-  params.z = static_cast<std::size_t>(args.integer("z"));
-  params.a = args.real("a");
-  params.psucc = args.real("psucc");
   try {
+    base.group_sizes = args.size_list("sizes");
+    params.b = args.real("b");
+    params.c = args.real("c");
+    params.g = args.real("g");
+    params.z = static_cast<std::size_t>(args.integer("z"));
+    params.a = args.real("a");
+    params.psucc = args.real("psucc");
     params.validate();
+  } catch (const util::ArgError& error) {
+    std::cerr << "damsim: " << error.what() << "\n";
+    return 2;
   } catch (const std::invalid_argument& error) {
     std::cerr << "damsim: " << error.what() << "\n";
     return 2;
@@ -136,17 +191,23 @@ int main(int argc, char** argv) {
     csv->header(columns);
   }
 
-  for (double alive : points) {
-    const Row row = run_point(base, alive, runs);
-    std::vector<std::string> cells{util::fixed(alive, 1)};
-    for (std::size_t level = 0; level < levels; ++level) {
-      cells.push_back(util::fixed(row.intra[level].mean(), 0));
-      cells.push_back(util::fixed(row.fraction[level].mean(), 3));
-      cells.push_back(util::fixed(row.all[level].estimate(), 2));
+  try {
+    for (double alive : points) {
+      const Row row = run_point(base, alive, runs);
+      std::vector<std::string> cells{util::fixed(alive, 1)};
+      for (std::size_t level = 0; level < levels; ++level) {
+        cells.push_back(util::fixed(row.intra[level].mean(), 0));
+        cells.push_back(util::fixed(row.fraction[level].mean(), 3));
+        cells.push_back(util::fixed(row.all[level].estimate(), 2));
+      }
+      cells.push_back(util::fixed(row.inter_total.mean(), 2));
+      table.row_strings(cells);
+      if (csv) csv->row_strings(cells);
     }
-    cells.push_back(util::fixed(row.inter_total.mean(), 2));
-    table.row_strings(cells);
-    if (csv) csv->row_strings(cells);
+  } catch (const std::invalid_argument& error) {
+    // Bad engine config (empty group, out-of-range publish level, ...).
+    std::cerr << "damsim: " << error.what() << "\n";
+    return 2;
   }
   table.print(std::cout);
   return 0;
