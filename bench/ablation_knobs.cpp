@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
                   std::uint64_t seed) {
     params.psucc = 0.5;  // lossy channels make the knob effects visible —
                          // both the simulation and the pit prediction use it
-    const auto points = sim::run_scenario(knob_scenario(params, seed));
-    const sim::ScenarioPoint& point = points.front();
+    const auto sweep = exp::run_sweep(knob_scenario(params, seed));
+    const exp::ScenarioPoint& point = sweep.points.front();
     const double inter = point.groups[2].inter_sent.mean() +
                          point.groups[1].inter_sent.mean();
     const double t0_fraction = point.groups[0].delivery_ratio.mean();

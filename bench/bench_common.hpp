@@ -5,10 +5,11 @@
 //
 // Figure-style benches are thin wrappers over the scenario layer
 // (src/sim/scenario.hpp): they fetch a named preset from the registry (or
-// build an ad-hoc Scenario), run it through the unified frozen-table
-// engine, and print the shared report via run_scenario_bench below. Only
-// benches that exercise the dynamic message-passing system (bootstrap,
-// recovery, memory) or the closed-form analysis keep custom loops.
+// build an ad-hoc Scenario), run it through the parallel experiment runner
+// (src/exp — results are bit-identical for any worker count), and print
+// the shared report via run_scenario_bench below. Only benches that
+// exercise the dynamic message-passing system (bootstrap, recovery,
+// memory) or the closed-form analysis keep custom loops.
 #pragma once
 
 #include <cstdio>
@@ -19,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
@@ -49,7 +52,7 @@ class CsvSink {
   [[nodiscard]] bool enabled() const noexcept { return writer_ != nullptr; }
 
   /// The underlying writer (nullptr when no path was given) — for helpers
-  /// that stream rows themselves, e.g. sim::print_scenario_report.
+  /// that stream rows themselves, e.g. exp::print_sweep_table.
   [[nodiscard]] util::CsvWriter* writer() noexcept { return writer_.get(); }
 
  private:
@@ -62,11 +65,11 @@ inline void print_title(const std::string& title, const std::string& note) {
   std::cout << "\n";
 }
 
-/// Runs `scenario` through the unified engine and prints the shared
+/// Runs `scenario` through the thread-pooled runner and prints the shared
 /// per-group report (mirrored to the CSV sink when enabled).
 inline void run_scenario_bench(const sim::Scenario& scenario, CsvSink& csv) {
-  const auto points = sim::run_scenario(scenario);
-  sim::print_scenario_report(scenario, points, std::cout, csv.writer());
+  const exp::SweepResult sweep = exp::run_sweep(scenario);
+  exp::print_sweep_table(sweep.points, std::cout, csv.writer());
 }
 
 /// Fetches a registry preset by name; throws if the registry and the bench

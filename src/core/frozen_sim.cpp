@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 
 #include "core/protocol.hpp"
+#include "sim/failure.hpp"
 #include "util/rng.hpp"
 
 namespace dam::core {
@@ -57,6 +59,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
   util::Rng rng(config.seed);
   const bool stillborn =
       config.failure_mode == FrozenFailureMode::kStillborn;
+  const bool churning = config.failure_mode == FrozenFailureMode::kChurn;
   const double fail_probability = 1.0 - config.alive_fraction;
 
   // --- Build frozen membership tables (Sec. VII-A). -----------------------
@@ -117,12 +120,34 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
         groups[topic].alive.begin(), groups[topic].alive.end(), true));
   }
 
+  // Churn regime: sample per-process outage schedules AFTER the tables, so
+  // the table draw order (and thus every other regime's stream) is
+  // untouched. Processes get global ids group-major: pid = offset + index.
+  std::vector<std::uint32_t> pid_offset(dag.size(), 0);
+  std::optional<sim::ChurnFailures> churn;
+  if (churning) {
+    std::uint32_t next_pid = 0;
+    for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+      pid_offset[topic] = next_pid;
+      next_pid += static_cast<std::uint32_t>(groups[topic].size);
+    }
+    churn = sim::ChurnFailures::sample(next_pid, config.churn.horizon,
+                                       config.churn.outages,
+                                       config.churn.outage_length, rng);
+  }
+  std::size_t rounds = 0;
+
   // A message to (topic, index) gets through iff the channel coin succeeds
-  // AND the target is (perceived) alive.
-  auto delivered_ok = [&](const TopicParams& params, const Group& target_group,
-                          std::uint32_t target) {
+  // AND the target is (perceived) alive — at the current round in the
+  // churn regime.
+  auto delivered_ok = [&](const TopicParams& params, std::uint32_t topic,
+                          const Group& target_group, std::uint32_t target) {
     if (!protocol::channel_delivers(params.psucc, rng)) return false;
     if (stillborn) return static_cast<bool>(target_group.alive[target]);
+    if (churning) {
+      return churn->alive(topics::ProcessId{pid_offset[topic] + target},
+                          rounds);
+    }
     return !rng.bernoulli(fail_probability);  // dynamic perception
   };
 
@@ -130,7 +155,10 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
   const std::uint32_t publish = config.publish_topic.value;
   std::vector<std::uint32_t> alive_candidates;
   for (std::uint32_t i = 0; i < groups[publish].size; ++i) {
-    if (groups[publish].alive[i]) alive_candidates.push_back(i);
+    const bool up_now =
+        !churning ||
+        churn->alive(topics::ProcessId{pid_offset[publish] + i}, 0);
+    if (groups[publish].alive[i] && up_now) alive_candidates.push_back(i);
   }
   if (alive_candidates.empty()) {
     // Nobody can publish; groups with alive members trivially miss the
@@ -160,7 +188,6 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
     frontier.push_back(Coord{publish, publisher});
   }
 
-  std::size_t rounds = 0;
   while (!frontier.empty()) {
     ++rounds;
     std::deque<Coord> next;
@@ -180,7 +207,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
             params, group.size, group.super_tables[coord.index][slot], rng,
             [&](std::uint32_t target) {
               ++my_result.inter_sent;
-              if (!delivered_ok(params, parent_group, target)) return;
+              if (!delivered_ok(params, parent, parent_group, target)) return;
               ++result.groups[parent].inter_received;
               if (parent_group.delivered[target]) {
                 ++result.groups[parent].duplicate_deliveries;
@@ -197,7 +224,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
       for (std::uint32_t target : protocol::fanout_targets(
                params, group.size, group.topic_table[coord.index], rng)) {
         ++my_result.intra_sent;
-        if (!delivered_ok(params, group, target)) continue;
+        if (!delivered_ok(params, coord.topic, group, target)) continue;
         if (group.delivered[target]) {
           ++my_result.duplicate_deliveries;
           continue;

@@ -38,6 +38,18 @@ enum class FrozenFailureMode {
   kDynamicPerception,  ///< all alive; each send independently "sees" the
                        ///< target failed with probability 1 - alive_fraction
                        ///< (Fig. 11)
+  kChurn,              ///< crash/recovery outages on a precomputed schedule
+                       ///< (sim::ChurnFailures); alive_fraction is ignored
+};
+
+/// Churn regime knobs (FrozenFailureMode::kChurn): every process suffers
+/// `outages` outages of `outage_length` rounds, starting uniformly in
+/// [0, horizon). A process that is down when a message arrives misses it
+/// for good (tables stay frozen), but keeps earlier deliveries.
+struct FrozenChurnConfig {
+  std::size_t outages = 1;
+  std::size_t outage_length = 2;
+  std::size_t horizon = 16;
 };
 
 struct FrozenSimConfig {
@@ -54,6 +66,7 @@ struct FrozenSimConfig {
 
   double alive_fraction = 1.0;
   FrozenFailureMode failure_mode = FrozenFailureMode::kStillborn;
+  FrozenChurnConfig churn;  ///< only read when failure_mode == kChurn
 
   topics::DagTopicId publish_topic{};
   std::uint64_t seed = 1;

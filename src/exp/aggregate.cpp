@@ -1,0 +1,62 @@
+#include "exp/aggregate.hpp"
+
+#include <stdexcept>
+
+namespace dam::exp {
+
+ScenarioPoint make_point(const sim::Scenario& scenario,
+                         double alive_fraction) {
+  ScenarioPoint point;
+  point.alive_fraction = alive_fraction;
+  point.groups.resize(scenario.topic_names.size());
+  for (std::size_t topic = 0; topic < scenario.topic_names.size(); ++topic) {
+    point.groups[topic].topic = scenario.topic_names[topic];
+    point.groups[topic].size = scenario.group_sizes[topic];
+  }
+  return point;
+}
+
+void accumulate_run(ScenarioPoint& point, const core::FrozenRunResult& run) {
+  if (run.groups.size() != point.groups.size()) {
+    throw std::invalid_argument(
+        "accumulate_run: run and point disagree on group count");
+  }
+  point.total_messages.add(static_cast<double>(run.total_messages));
+  point.rounds.add(static_cast<double>(run.rounds));
+  for (std::size_t topic = 0; topic < run.groups.size(); ++topic) {
+    const core::FrozenGroupResult& group = run.groups[topic];
+    ScenarioGroupStats& stats = point.groups[topic];
+    stats.intra_sent.add(static_cast<double>(group.intra_sent));
+    stats.inter_sent.add(static_cast<double>(group.inter_sent));
+    stats.inter_received.add(static_cast<double>(group.inter_received));
+    stats.any_inter_received.add(group.inter_received > 0);
+    stats.duplicate_deliveries.add(
+        static_cast<double>(group.duplicate_deliveries));
+    if (group.alive > 0) {
+      stats.delivery_ratio.add(group.delivery_ratio());
+      stats.all_alive_delivered.add(group.all_alive_delivered);
+    }
+  }
+}
+
+void merge_point(ScenarioPoint& into, const ScenarioPoint& shard) {
+  if (shard.groups.size() != into.groups.size()) {
+    throw std::invalid_argument(
+        "merge_point: partials disagree on group count");
+  }
+  into.total_messages.merge(shard.total_messages);
+  into.rounds.merge(shard.rounds);
+  for (std::size_t topic = 0; topic < into.groups.size(); ++topic) {
+    ScenarioGroupStats& to = into.groups[topic];
+    const ScenarioGroupStats& from = shard.groups[topic];
+    to.intra_sent.merge(from.intra_sent);
+    to.inter_sent.merge(from.inter_sent);
+    to.inter_received.merge(from.inter_received);
+    to.delivery_ratio.merge(from.delivery_ratio);
+    to.all_alive_delivered.merge(from.all_alive_delivered);
+    to.any_inter_received.merge(from.any_inter_received);
+    to.duplicate_deliveries.merge(from.duplicate_deliveries);
+  }
+}
+
+}  // namespace dam::exp

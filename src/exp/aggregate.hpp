@@ -1,0 +1,64 @@
+// Streaming aggregation for experiment sweeps.
+//
+// One engine run produces a core::FrozenRunResult; a sweep point aggregates
+// thousands (or millions) of them. This module owns the aggregate types and
+// the two operations the lab needs:
+//   * accumulate_run — fold one run into a point (Welford, O(groups) state,
+//     no run buffering: memory is constant in the number of runs);
+//   * merge_point    — combine two partial points (Chan et al. merge), so
+//     shards aggregated on different threads can be reduced afterwards.
+//
+// Determinism note: floating-point merge is NOT associative, so the runner
+// shards the run range identically for every --jobs value and merges the
+// shard partials in shard order. Aggregates are therefore bit-identical
+// regardless of thread count.
+//
+// Layering: core/frozen_sim → sim/scenario (workload description) → this
+// module (aggregate data model) → exp/runner (execution) → exp/report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frozen_sim.hpp"
+#include "sim/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace dam::exp {
+
+/// Aggregates over the runs of one sweep point, per group.
+struct ScenarioGroupStats {
+  std::string topic;
+  std::size_t size = 0;
+  util::Accumulator intra_sent;
+  util::Accumulator inter_sent;
+  util::Accumulator inter_received;
+  util::Accumulator delivery_ratio;      ///< over runs with alive members
+  util::Proportion all_alive_delivered;  ///< over runs with alive members
+  util::Proportion any_inter_received;   ///< P(>= 1 intergroup arrival)
+  util::Accumulator duplicate_deliveries;
+};
+
+/// One aggregated sweep point (a single alive fraction of a scenario).
+struct ScenarioPoint {
+  double alive_fraction = 1.0;
+  std::vector<ScenarioGroupStats> groups;  ///< indexed by topic
+  util::Accumulator total_messages;
+  util::Accumulator rounds;
+};
+
+/// Empty aggregate for one sweep point: group labels/sizes from the
+/// scenario, every statistic at zero samples.
+[[nodiscard]] ScenarioPoint make_point(const sim::Scenario& scenario,
+                                       double alive_fraction);
+
+/// Folds one engine run into the point. Runs where a group has no alive
+/// member contribute no delivery-ratio/reliability sample for that group
+/// (a vacuous 1.0 would inflate reliability curves at low alive fractions).
+void accumulate_run(ScenarioPoint& point, const core::FrozenRunResult& run);
+
+/// Merges a shard partial into `into` (same scenario, same sweep point).
+/// Exact for counters/proportions; Welford-merge for the accumulators.
+void merge_point(ScenarioPoint& into, const ScenarioPoint& shard);
+
+}  // namespace dam::exp

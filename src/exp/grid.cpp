@@ -1,0 +1,216 @@
+#include "exp/grid.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace dam::exp {
+
+namespace {
+
+const char* const kKnownKeys[] = {"a",     "b",     "c",    "g",    "psucc",
+                                  "tau",   "z",     "alive", "scale", "runs"};
+
+bool known_key(std::string_view key) {
+  for (const char* candidate : kKnownKeys) {
+    if (key == candidate) return true;
+  }
+  return false;
+}
+
+double parse_number(std::string_view text, std::string_view axis) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(std::string(text), &consumed);
+    if (consumed != text.size()) throw std::invalid_argument("trailing junk");
+    // NaN/inf would sail through every later domain check (all written as
+    // `value < bound`), poisoning seeds and run counts downstream.
+    if (!std::isfinite(value)) throw std::invalid_argument("not finite");
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("grid axis '" + std::string(axis) +
+                                "': bad number '" + std::string(text) + "'");
+  }
+}
+
+/// Appends `item` (a number or an inclusive lo:hi[:step] range) to `values`.
+void expand_item(std::string_view item, std::string_view axis,
+                 std::vector<double>& values) {
+  const std::size_t colon = item.find(':');
+  if (colon == std::string_view::npos) {
+    values.push_back(parse_number(item, axis));
+    return;
+  }
+  const std::size_t colon2 = item.find(':', colon + 1);
+  const double lo = parse_number(item.substr(0, colon), axis);
+  const double hi = parse_number(
+      item.substr(colon + 1, (colon2 == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : colon2 - colon - 1)),
+      axis);
+  const double step = colon2 == std::string_view::npos
+                          ? 1.0
+                          : parse_number(item.substr(colon2 + 1), axis);
+  if (step <= 0.0 || hi < lo) {
+    throw std::invalid_argument("grid axis '" + std::string(axis) +
+                                "': bad range '" + std::string(item) +
+                                "' (need lo <= hi, step > 0)");
+  }
+  // Half-step tolerance keeps the endpoint in despite accumulation error.
+  for (double v = lo; v <= hi + step * 0.5; v += step) {
+    values.push_back(v);
+    if (values.size() > 10000) {
+      throw std::invalid_argument("grid axis '" + std::string(axis) +
+                                  "': more than 10000 values");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<GridAxis> parse_grid(std::string_view spec) {
+  std::vector<GridAxis> axes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    if (std::isspace(static_cast<unsigned char>(spec[pos])) ||
+        spec[pos] == ';') {
+      ++pos;
+      continue;
+    }
+    std::size_t end = pos;
+    while (end < spec.size() && spec[end] != ';' &&
+           !std::isspace(static_cast<unsigned char>(spec[end]))) {
+      ++end;
+    }
+    const std::string_view token = spec.substr(pos, end - pos);
+    pos = end;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 == token.size()) {
+      throw std::invalid_argument("grid: axis '" + std::string(token) +
+                                  "' is not of the form key=values");
+    }
+    GridAxis axis;
+    axis.key = std::string(token.substr(0, eq));
+    if (!known_key(axis.key)) {
+      throw std::invalid_argument("grid: unknown key '" + axis.key + "'");
+    }
+    for (const GridAxis& existing : axes) {
+      if (existing.key == axis.key) {
+        throw std::invalid_argument("grid: key '" + axis.key +
+                                    "' appears twice");
+      }
+    }
+    std::string_view rest = token.substr(eq + 1);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      expand_item(rest.substr(0, comma), token, axis.values);
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+      if (rest.empty()) {
+        throw std::invalid_argument("grid axis '" + std::string(token) +
+                                    "': trailing comma");
+      }
+    }
+    if (axis.values.empty()) {
+      throw std::invalid_argument("grid axis '" + std::string(token) +
+                                  "': no values");
+    }
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+std::vector<GridPoint> expand_grid(const std::vector<GridAxis>& axes) {
+  for (const GridAxis& axis : axes) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("expand_grid: axis '" + axis.key +
+                                  "' has no values");
+    }
+  }
+  std::vector<GridPoint> points{GridPoint{}};
+  for (const GridAxis& axis : axes) {
+    std::vector<GridPoint> next;
+    next.reserve(points.size() * axis.values.size());
+    for (const GridPoint& prefix : points) {
+      for (double value : axis.values) {
+        GridPoint point = prefix;
+        point.emplace_back(axis.key, value);
+        next.push_back(std::move(point));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
+  if (scenario.params.empty()) scenario.params = {core::TopicParams{}};
+  for (const auto& [key, value] : point) {
+    if (key == "alive") {
+      if (value < 0.0 || value > 1.0) {
+        throw std::invalid_argument("grid: alive must be in [0, 1]");
+      }
+      scenario.alive_sweep = {value};
+    } else if (key == "scale") {
+      if (value <= 0.0) {
+        throw std::invalid_argument("grid: scale must be positive");
+      }
+      for (std::size_t& size : scenario.group_sizes) {
+        const long long scaled =
+            std::llround(static_cast<double>(size) * value);
+        size = static_cast<std::size_t>(std::max(1LL, scaled));
+      }
+    } else if (key == "runs") {
+      if (value < 1.0) throw std::invalid_argument("grid: runs must be >= 1");
+      scenario.runs = static_cast<int>(std::llround(value));
+    } else {
+      for (core::TopicParams& params : scenario.params) {
+        if (key == "a") {
+          params.a = value;
+          // Sweeping a past the table size would leave the paper's domain
+          // (1 <= a <= z); grow the table so "a=1:4" just works.
+          if (value > static_cast<double>(params.z)) {
+            params.z = static_cast<std::size_t>(std::ceil(value));
+          }
+        } else if (key == "b") {
+          params.b = value;
+        } else if (key == "c") {
+          params.c = value;
+        } else if (key == "g") {
+          params.g = value;
+        } else if (key == "psucc") {
+          params.psucc = value;
+        } else if (key == "tau") {
+          params.tau = static_cast<std::size_t>(std::llround(value));
+        } else if (key == "z") {
+          params.z = static_cast<std::size_t>(std::llround(value));
+        } else {
+          throw std::invalid_argument("grid: unknown key '" + key + "'");
+        }
+        params.validate();
+      }
+    }
+  }
+}
+
+std::string grid_label(const GridPoint& point) {
+  std::string label;
+  for (const auto& [key, value] : point) {
+    if (!label.empty()) label += ' ';
+    label += key;
+    label += '=';
+    // Trim trailing zeros so integral knobs read "a=2", not "a=2.000000".
+    std::string number = std::to_string(value);
+    while (number.find('.') != std::string::npos &&
+           (number.back() == '0' || number.back() == '.')) {
+      const char back = number.back();
+      number.pop_back();
+      if (back == '.') break;
+    }
+    label += number;
+  }
+  return label;
+}
+
+}  // namespace dam::exp

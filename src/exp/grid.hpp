@@ -1,0 +1,60 @@
+// Parameter-grid expansion for experiment sweeps.
+//
+// One grid spec sweeps several knobs in a single damlab invocation:
+//
+//   "a=1:4 g=5,10,20 psucc=0.5:0.9:0.2"
+//
+// Axes are separated by whitespace or ';'. Each axis is `key=values` where
+// `values` is a comma-separated mix of numbers and inclusive ranges
+// `lo:hi[:step]` (step defaults to 1). The grid is the cartesian product of
+// the axes, expanded in declaration order with the LAST axis varying
+// fastest; an empty spec expands to the single empty point (run the
+// scenario as-is).
+//
+// Recognized keys and how they are applied to a sim::Scenario:
+//   a, b, c, g, psucc, tau, z — per-topic protocol knobs (applied to every
+//                               entry of Scenario::params); setting `a`
+//                               above the current `z` raises `z` to match,
+//                               so "a=1:4" stays inside the paper's
+//                               1 <= a <= z domain;
+//   alive                     — replaces the alive sweep with this single
+//                               fraction;
+//   scale                     — multiplies every group size (min 1);
+//   runs                      — runs per sweep point.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace dam::exp {
+
+/// One grid dimension: a knob name and the values it sweeps.
+struct GridAxis {
+  std::string key;
+  std::vector<double> values;
+};
+
+/// One cell of the expanded grid: (key, value) in axis declaration order.
+using GridPoint = std::vector<std::pair<std::string, double>>;
+
+/// Parses a grid spec (see file comment). Throws std::invalid_argument on
+/// malformed axes, unknown keys, empty value lists, or bad ranges.
+[[nodiscard]] std::vector<GridAxis> parse_grid(std::string_view spec);
+
+/// Cartesian product of the axes, last axis fastest. No axes -> the single
+/// empty point. Throws std::invalid_argument if any axis has no values.
+[[nodiscard]] std::vector<GridPoint> expand_grid(
+    const std::vector<GridAxis>& axes);
+
+/// Applies one grid point to a scenario (see key list in the file comment).
+/// Throws std::invalid_argument on unknown keys or out-of-domain values.
+void apply_grid_point(sim::Scenario& scenario, const GridPoint& point);
+
+/// Human-readable cell label: "a=2 g=10" ("" for the empty point).
+[[nodiscard]] std::string grid_label(const GridPoint& point);
+
+}  // namespace dam::exp

@@ -1,0 +1,208 @@
+#include "exp/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dam::exp {
+
+void print_sweep_table(const std::vector<ScenarioPoint>& points,
+                       std::ostream& out, util::CsvWriter* mirror) {
+  if (points.empty()) return;
+  std::vector<std::string> columns{"alive"};
+  for (const ScenarioGroupStats& group : points.front().groups) {
+    columns.push_back(group.topic + " intra");
+    columns.push_back(group.topic + " inter>");
+    columns.push_back(group.topic + " recv");
+    columns.push_back(group.topic + " >=1");  // P(any intergroup arrival) —
+                                              // the paper's Fig. 9 headline
+    columns.push_back(group.topic + " frac");
+    columns.push_back(group.topic + " all");
+  }
+  columns.push_back("total msgs");
+  columns.push_back("rounds");
+  util::ConsoleTable table(columns);
+  if (mirror != nullptr) mirror->header(columns);
+  for (const ScenarioPoint& point : points) {
+    std::vector<std::string> cells{util::fixed(point.alive_fraction, 2)};
+    for (const ScenarioGroupStats& group : point.groups) {
+      cells.push_back(util::fixed(group.intra_sent.mean(), 1));
+      cells.push_back(util::fixed(group.inter_sent.mean(), 2));
+      cells.push_back(util::fixed(group.inter_received.mean(), 2));
+      cells.push_back(util::fixed(group.any_inter_received.estimate(), 2));
+      cells.push_back(util::fixed(group.delivery_ratio.mean(), 3));
+      cells.push_back(util::fixed(group.all_alive_delivered.estimate(), 2));
+    }
+    cells.push_back(util::fixed(point.total_messages.mean(), 0));
+    cells.push_back(util::fixed(point.rounds.mean(), 1));
+    table.row_strings(cells);
+    if (mirror != nullptr) mirror->row_strings(cells);
+  }
+  table.print(out);
+}
+
+void csv_report_header(util::CsvWriter& csv) {
+  csv.header({"scenario", "grid", "alive", "topic", "size", "intra_mean",
+              "inter_mean", "recv_mean", "any_recv", "ratio_mean",
+              "ratio_ci95", "all_alive", "dup_mean", "total_msgs_mean",
+              "rounds_mean"});
+}
+
+void csv_report_rows(util::CsvWriter& csv, const std::string& scenario,
+                     const GridPoint& grid, const SweepResult& sweep) {
+  const std::string label = grid_label(grid);
+  for (const ScenarioPoint& point : sweep.points) {
+    for (const ScenarioGroupStats& group : point.groups) {
+      csv.row(scenario, label, point.alive_fraction, group.topic, group.size,
+              group.intra_sent.mean(), group.inter_sent.mean(),
+              group.inter_received.mean(), group.any_inter_received.estimate(),
+              group.delivery_ratio.mean(), group.delivery_ratio.ci95_halfwidth(),
+              group.all_alive_delivered.estimate(),
+              group.duplicate_deliveries.mean(), point.total_messages.mean(),
+              point.rounds.mean());
+    }
+  }
+}
+
+// --- JSON emission ---------------------------------------------------------
+
+namespace {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Infinity; serialize those as null.
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << value;
+  return os.str();
+}
+
+void emit_accumulator(std::ostream& out, const char* key,
+                      const util::Accumulator& acc) {
+  out << '"' << key << "\":{\"mean\":" << json_number(acc.mean())
+      << ",\"ci95\":" << json_number(acc.ci95_halfwidth())
+      << ",\"min\":" << json_number(acc.min())
+      << ",\"max\":" << json_number(acc.max()) << ",\"count\":" << acc.count()
+      << '}';
+}
+
+}  // namespace
+
+void BenchReport::add(std::string scenario, GridPoint grid,
+                      const SweepResult& sweep) {
+  records_.push_back(Record{std::move(scenario), std::move(grid), sweep});
+}
+
+void BenchReport::write(std::ostream& out) const {
+  out << "{\"schema\":\"damlab-bench-v1\",\"sweeps\":[";
+  bool first_sweep = true;
+  for (const Record& record : records_) {
+    if (!first_sweep) out << ',';
+    first_sweep = false;
+    const SweepResult& sweep = record.sweep;
+    const double wall = sweep.wall_seconds;
+    const double runs_per_sec =
+        wall > 0.0 ? static_cast<double>(sweep.total_runs) / wall : 0.0;
+    const double events_per_sec =
+        wall > 0.0 ? static_cast<double>(sweep.total_events) / wall : 0.0;
+    out << "{\"scenario\":\"" << json_escape(record.scenario) << "\","
+        << "\"grid\":{";
+    bool first_axis = true;
+    for (const auto& [key, value] : record.grid) {
+      if (!first_axis) out << ',';
+      first_axis = false;
+      out << '"' << json_escape(key) << "\":" << json_number(value);
+    }
+    out << "},\"jobs\":" << sweep.jobs
+        << ",\"wall_seconds\":" << json_number(wall)
+        << ",\"runs\":" << sweep.total_runs
+        << ",\"runs_per_sec\":" << json_number(runs_per_sec)
+        << ",\"events\":" << sweep.total_events
+        << ",\"events_per_sec\":" << json_number(events_per_sec)
+        << ",\"points\":[";
+    bool first_point = true;
+    for (const ScenarioPoint& point : sweep.points) {
+      if (!first_point) out << ',';
+      first_point = false;
+      out << "{\"alive\":" << json_number(point.alive_fraction) << ',';
+      emit_accumulator(out, "total_messages", point.total_messages);
+      out << ',';
+      emit_accumulator(out, "rounds", point.rounds);
+      out << ",\"groups\":[";
+      bool first_group = true;
+      for (const ScenarioGroupStats& group : point.groups) {
+        if (!first_group) out << ',';
+        first_group = false;
+        out << "{\"topic\":\"" << json_escape(group.topic)
+            << "\",\"size\":" << group.size << ',';
+        emit_accumulator(out, "intra_sent", group.intra_sent);
+        out << ',';
+        emit_accumulator(out, "inter_sent", group.inter_sent);
+        out << ',';
+        emit_accumulator(out, "inter_received", group.inter_received);
+        out << ',';
+        emit_accumulator(out, "delivery_ratio", group.delivery_ratio);
+        out << ',';
+        emit_accumulator(out, "duplicate_deliveries",
+                         group.duplicate_deliveries);
+        out << ",\"all_alive_delivered\":"
+            << json_number(group.all_alive_delivered.estimate())
+            << ",\"any_inter_received\":"
+            << json_number(group.any_inter_received.estimate())
+            << ",\"reliability_trials\":" << group.all_alive_delivered.trials
+            << '}';
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("BenchReport: cannot open '" + path + "'");
+  }
+  write(file);
+}
+
+}  // namespace dam::exp

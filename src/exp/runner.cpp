@@ -1,0 +1,158 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "core/frozen_sim.hpp"
+
+namespace dam::exp {
+
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void run_parallel(const std::vector<std::function<void()>>& tasks,
+                  unsigned jobs) {
+  if (tasks.empty()) return;
+  jobs = resolve_jobs(jobs);
+  if (jobs > tasks.size()) jobs = static_cast<unsigned>(tasks.size());
+
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> pending;
+  };
+  std::vector<WorkerQueue> queues(jobs);
+  // Deal round-robin so every worker starts with a spread of the grid, not
+  // one contiguous (and possibly uniformly heavy) block.
+  for (std::size_t task = 0; task < tasks.size(); ++task) {
+    queues[task % jobs].pending.push_back(task);
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error = nullptr;
+
+  auto worker = [&](unsigned self) {
+    for (;;) {
+      std::size_t task = 0;
+      bool found = false;
+      {
+        WorkerQueue& own = queues[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.pending.empty()) {
+          task = own.pending.back();  // own work: LIFO, cache-warm end
+          own.pending.pop_back();
+          found = true;
+        }
+      }
+      for (unsigned offset = 1; !found && offset < jobs; ++offset) {
+        WorkerQueue& victim = queues[(self + offset) % jobs];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.pending.empty()) {
+          task = victim.pending.front();  // steal from the cold end
+          victim.pending.pop_front();
+          found = true;
+        }
+      }
+      // Tasks never enqueue new tasks, so one full empty scan means done.
+      if (!found) return;
+      try {
+        tasks[task]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned self = 1; self < jobs; ++self) {
+    threads.emplace_back(worker, self);
+  }
+  worker(0);  // the calling thread is worker 0
+  for (std::thread& thread : threads) thread.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+SweepResult run_sweep(const sim::Scenario& scenario,
+                      const RunnerOptions& options) {
+  const topics::TopicDag dag = scenario.build_dag();
+  if (scenario.group_sizes.size() != dag.size()) {
+    throw std::invalid_argument(
+        "run_sweep: group_sizes must cover every topic");
+  }
+  if (scenario.runs <= 0) {
+    throw std::invalid_argument("run_sweep: runs must be positive");
+  }
+  if (options.shards == 0) {
+    throw std::invalid_argument("run_sweep: shards must be positive");
+  }
+  const auto started = std::chrono::steady_clock::now();
+  const unsigned jobs = resolve_jobs(options.jobs);
+  const std::size_t runs = static_cast<std::size_t>(scenario.runs);
+  const std::size_t shard_count =
+      std::min<std::size_t>(options.shards, runs);
+
+  struct Shard {
+    ScenarioPoint partial;
+    std::uint64_t events = 0;
+    std::uint64_t runs = 0;
+  };
+  std::vector<Shard> shards(scenario.alive_sweep.size() * shard_count);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards.size());
+  for (std::size_t pt = 0; pt < scenario.alive_sweep.size(); ++pt) {
+    const double alive = scenario.alive_sweep[pt];
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      // Contiguous run range [lo, hi); boundaries depend only on (runs,
+      // shard_count), never on the worker count.
+      const std::size_t lo = runs * s / shard_count;
+      const std::size_t hi = runs * (s + 1) / shard_count;
+      Shard& shard = shards[pt * shard_count + s];
+      tasks.push_back([&scenario, &dag, &shard, alive, lo, hi] {
+        shard.partial = make_point(scenario, alive);
+        for (std::size_t run = lo; run < hi; ++run) {
+          const core::FrozenRunResult result = core::run_frozen_simulation(
+              scenario.config_for(dag, alive, static_cast<int>(run)));
+          accumulate_run(shard.partial, result);
+          shard.events += result.total_messages;
+          ++shard.runs;
+        }
+      });
+    }
+  }
+  run_parallel(tasks, jobs);
+
+  SweepResult result;
+  // Report the worker count that could actually run, not the request:
+  // run_parallel never spawns more workers than there are tasks, and the
+  // JSON "jobs" field feeds perf-trajectory comparisons.
+  result.jobs = static_cast<unsigned>(
+      std::max<std::size_t>(1, std::min<std::size_t>(jobs, tasks.size())));
+  result.points.reserve(scenario.alive_sweep.size());
+  for (std::size_t pt = 0; pt < scenario.alive_sweep.size(); ++pt) {
+    ScenarioPoint point = make_point(scenario, scenario.alive_sweep[pt]);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const Shard& shard = shards[pt * shard_count + s];
+      merge_point(point, shard.partial);
+      result.total_events += shard.events;
+      result.total_runs += shard.runs;
+    }
+    result.points.push_back(std::move(point));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  return result;
+}
+
+}  // namespace dam::exp

@@ -1,0 +1,73 @@
+// Thread-pooled sweep execution.
+//
+// run_sweep fans the (sweep point × run index) grid of a scenario out
+// across N worker threads and reduces the per-run results into one
+// aggregate per sweep point. Three properties are load-bearing:
+//
+//   * Deterministic sharded seeding — every run's engine seed is a pure
+//     function of (base_seed, sweep point, run index), via
+//     Scenario::config_for. Thread identity never touches the seed, so the
+//     SET of runs executed is identical for every --jobs value.
+//   * Jobs-independent reduction order — each sweep point's run range is
+//     cut into a fixed number of contiguous shards (RunnerOptions::shards,
+//     independent of the worker count). A shard is always aggregated
+//     sequentially in run order by one worker, and shard partials are
+//     merged in shard order afterwards. Floating-point aggregation is not
+//     associative, so this fixed shape is what makes aggregates
+//     BIT-IDENTICAL for any --jobs value (tests/exp/runner_test.cpp pins
+//     it).
+//   * Constant memory — workers stream runs into Welford partials
+//     (exp/aggregate); memory is O(points × shards), never O(runs).
+//
+// The pool itself (run_parallel) is a work-stealing scheduler: tasks are
+// dealt to per-worker deques up front; a worker drains its own deque from
+// the back and steals from the front of its neighbors' when it runs dry.
+// Shards of heavyweight points (large groups, low alive fractions) thus
+// migrate to idle workers instead of serializing behind one thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "sim/scenario.hpp"
+
+namespace dam::exp {
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+
+  /// Shards per sweep point. Must NOT depend on `jobs` (see file comment);
+  /// the default gives plenty of stealable slack for any sane core count.
+  unsigned shards = 32;
+};
+
+/// One executed sweep: the aggregates plus the throughput counters the
+/// bench reporter records.
+struct SweepResult {
+  std::vector<ScenarioPoint> points;  ///< one per Scenario::alive_sweep entry
+  double wall_seconds = 0.0;
+  std::uint64_t total_runs = 0;    ///< engine runs executed
+  std::uint64_t total_events = 0;  ///< messages sent across all runs
+  unsigned jobs = 1;               ///< resolved worker count
+};
+
+/// Resolves RunnerOptions::jobs (0 -> hardware concurrency, min 1).
+[[nodiscard]] unsigned resolve_jobs(unsigned jobs);
+
+/// Runs every task exactly once across `jobs` workers (work-stealing; see
+/// file comment). Blocks until all tasks finish. If tasks throw, one of
+/// the exceptions is rethrown after the pool drains.
+void run_parallel(const std::vector<std::function<void()>>& tasks,
+                  unsigned jobs);
+
+/// Executes the scenario's full (alive sweep × runs) grid and returns one
+/// aggregated point per sweep entry. Aggregates are bit-identical for any
+/// `options.jobs`; `options.shards` changes the reduction shape and hence
+/// the last-ulp rounding of means, so comparisons must hold it fixed.
+[[nodiscard]] SweepResult run_sweep(const sim::Scenario& scenario,
+                                    const RunnerOptions& options = {});
+
+}  // namespace dam::exp

@@ -1,5 +1,8 @@
+// The scenario layer: registry presets and topology/config building.
+// Execution lives in exp/runner, aggregation in exp/aggregate.
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
@@ -31,53 +34,11 @@ core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
   config.params = params;
   config.alive_fraction = alive_fraction;
   config.failure_mode = failure_mode;
+  config.churn = churn;
   config.publish_topic = topics::DagTopicId{publish_topic};
   config.seed = base_seed + static_cast<std::uint64_t>(run) * 7919 +
                 static_cast<std::uint64_t>(std::lround(alive_fraction * 1000.0));
   return config;
-}
-
-std::vector<ScenarioPoint> run_scenario(const Scenario& scenario) {
-  const topics::TopicDag dag = scenario.build_dag();
-  if (scenario.group_sizes.size() != dag.size()) {
-    throw std::invalid_argument(
-        "run_scenario: group_sizes must cover every topic");
-  }
-  std::vector<ScenarioPoint> points;
-  points.reserve(scenario.alive_sweep.size());
-  for (double alive : scenario.alive_sweep) {
-    ScenarioPoint point;
-    point.alive_fraction = alive;
-    point.groups.resize(dag.size());
-    for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-      point.groups[topic].topic = scenario.topic_names[topic];
-      point.groups[topic].size = scenario.group_sizes[topic];
-    }
-    for (int run = 0; run < scenario.runs; ++run) {
-      const auto result = core::run_frozen_simulation(
-          scenario.config_for(dag, alive, run));
-      point.total_messages.add(static_cast<double>(result.total_messages));
-      point.rounds.add(static_cast<double>(result.rounds));
-      for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-        const core::FrozenGroupResult& group = result.groups[topic];
-        ScenarioGroupStats& stats = point.groups[topic];
-        stats.intra_sent.add(static_cast<double>(group.intra_sent));
-        stats.inter_sent.add(static_cast<double>(group.inter_sent));
-        stats.inter_received.add(static_cast<double>(group.inter_received));
-        stats.any_inter_received.add(group.inter_received > 0);
-        stats.duplicate_deliveries.add(
-            static_cast<double>(group.duplicate_deliveries));
-        if (group.alive > 0) {
-          // Skip vacuous runs (no alive member): a ratio of 1.0 there
-          // would artificially inflate reliability curves at low x.
-          stats.delivery_ratio.add(group.delivery_ratio());
-          stats.all_alive_delivered.add(group.all_alive_delivered);
-        }
-      }
-    }
-    points.push_back(std::move(point));
-  }
-  return points;
 }
 
 Scenario make_linear_scenario(std::string name, std::string summary,
@@ -193,6 +154,33 @@ std::vector<Scenario> build_registry() {
     presets.push_back(std::move(s));
   }
   {
+    // Real crash/recovery outages (sim::ChurnFailures schedules), not the
+    // perceived-failure proxy above: every process suffers one short
+    // outage somewhere in the dissemination window.
+    Scenario s = make_linear_scenario(
+        "churn-light",
+        "Crash/recovery schedule: 1 outage of 2 rounds per process",
+        {10, 100, 1000});
+    s.failure_mode = core::FrozenFailureMode::kChurn;
+    s.churn = core::FrozenChurnConfig{/*outages=*/1, /*outage_length=*/2,
+                                      /*horizon=*/16};
+    s.runs = 150;
+    s.base_seed = 0xC41;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "churn-heavy",
+        "Crash/recovery schedule: 3 outages of 5 rounds per process",
+        {10, 100, 1000});
+    s.failure_mode = core::FrozenFailureMode::kChurn;
+    s.churn = core::FrozenChurnConfig{/*outages=*/3, /*outage_length=*/5,
+                                      /*horizon=*/16};
+    s.runs = 150;
+    s.base_seed = 0xC43;
+    presets.push_back(std::move(s));
+  }
+  {
     Scenario s = make_linear_scenario(
         "ablation-lean",
         "Minimal intergroup budget (g=1, a=1, z=1) on lossy channels",
@@ -235,46 +223,27 @@ const std::vector<Scenario>& scenario_registry() {
   return kRegistry;
 }
 
-void print_scenario_report(const Scenario& scenario,
-                           const std::vector<ScenarioPoint>& points,
-                           std::ostream& out, util::CsvWriter* csv) {
-  std::vector<std::string> columns{"alive"};
-  for (const std::string& topic : scenario.topic_names) {
-    columns.push_back(topic + " intra");
-    columns.push_back(topic + " inter>");
-    columns.push_back(topic + " recv");
-    columns.push_back(topic + " >=1");  // P(any intergroup arrival) — the
-                                        // paper's Fig. 9 headline column
-    columns.push_back(topic + " frac");
-    columns.push_back(topic + " all");
-  }
-  columns.push_back("total msgs");
-  columns.push_back("rounds");
-  util::ConsoleTable table(columns);
-  if (csv != nullptr) csv->header(columns);
-  for (const ScenarioPoint& point : points) {
-    std::vector<std::string> cells{util::fixed(point.alive_fraction, 2)};
-    for (const ScenarioGroupStats& group : point.groups) {
-      cells.push_back(util::fixed(group.intra_sent.mean(), 1));
-      cells.push_back(util::fixed(group.inter_sent.mean(), 2));
-      cells.push_back(util::fixed(group.inter_received.mean(), 2));
-      cells.push_back(util::fixed(group.any_inter_received.estimate(), 2));
-      cells.push_back(util::fixed(group.delivery_ratio.mean(), 3));
-      cells.push_back(util::fixed(group.all_alive_delivered.estimate(), 2));
-    }
-    cells.push_back(util::fixed(point.total_messages.mean(), 0));
-    cells.push_back(util::fixed(point.rounds.mean(), 1));
-    table.row_strings(cells);
-    if (csv != nullptr) csv->row_strings(cells);
-  }
-  table.print(out);
-}
-
 const Scenario* find_scenario(std::string_view name) {
   for (const Scenario& scenario : scenario_registry()) {
     if (scenario.name == name) return &scenario;
   }
   return nullptr;
+}
+
+void print_registry(std::ostream& out, std::string_view tool) {
+  std::size_t width = 0;
+  for (const Scenario& scenario : scenario_registry()) {
+    width = std::max(width, scenario.name.size());
+  }
+  out << "available scenarios:\n";
+  for (const Scenario& scenario : scenario_registry()) {
+    out << "  " << scenario.name;
+    for (std::size_t pad = scenario.name.size(); pad < width + 3; ++pad) {
+      out << ' ';
+    }
+    out << scenario.summary << "\n";
+  }
+  out << "\nrun one with: " << tool << " --scenario=<name>\n";
 }
 
 }  // namespace dam::sim

@@ -3,14 +3,19 @@
 //
 // A Scenario captures everything one experiment needs: topology shape
 // (arbitrary topic DAG; a linear hierarchy is a path), group sizes,
-// per-topic TopicParams, failure regime, publish pattern, and the sweep of
-// alive fractions with the run count per point. New workloads are configs,
-// not new binaries: benches (bench/bench_common.hpp) and the damsim tool
-// both drive the same presets, and `damsim --list-scenarios` enumerates
-// them.
+// per-topic TopicParams, failure regime (including churn schedules), the
+// publish pattern, and the sweep of alive fractions with the run count per
+// point. New workloads are configs, not new binaries: benches
+// (bench/bench_common.hpp), damsim, and the damlab experiment lab all
+// drive the same presets, and `--list-scenarios` enumerates them.
+//
+// This layer only DESCRIBES experiments. Execution and aggregation live in
+// the experiment lab (src/exp): exp/runner fans the (sweep point × run)
+// grid across worker threads, exp/aggregate reduces the per-run results,
+// exp/report renders them.
 //
 // Layering: protocol kernel (core/protocol) → unified engine
-// (core/frozen_sim) → this scenario layer → benches/tools.
+// (core/frozen_sim) → this scenario layer → exp lab → benches/tools.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +27,6 @@
 
 #include "core/frozen_sim.hpp"
 #include "topics/dag.hpp"
-#include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace dam::sim {
 
@@ -46,6 +49,9 @@ struct Scenario {
   core::FrozenFailureMode failure_mode =
       core::FrozenFailureMode::kStillborn;
 
+  /// Outage schedule knobs; engaged iff failure_mode == kChurn.
+  core::FrozenChurnConfig churn;
+
   /// X axis: alive fractions to sweep (a single point is a sweep of one).
   std::vector<double> alive_sweep{1.0};
 
@@ -53,7 +59,9 @@ struct Scenario {
   std::uint32_t publish_topic = 0;
 
   /// Simulation runs per sweep point and the base seed; run r of point p
-  /// uses seed base_seed + r * 7919 + round(alive * 1000).
+  /// uses seed base_seed + r * 7919 + round(alive * 1000). The seed is a
+  /// pure function of (base_seed, point, run) — never of the thread that
+  /// executes the run — so parallel sweeps are reproducible.
   int runs = 100;
   std::uint64_t base_seed = 1;
 
@@ -68,48 +76,21 @@ struct Scenario {
                                                  int run) const;
 };
 
-/// Aggregates over the runs of one sweep point, per group.
-struct ScenarioGroupStats {
-  std::string topic;
-  std::size_t size = 0;
-  util::Accumulator intra_sent;
-  util::Accumulator inter_sent;
-  util::Accumulator inter_received;
-  util::Accumulator delivery_ratio;      ///< over runs with alive members
-  util::Proportion all_alive_delivered;  ///< over runs with alive members
-  util::Proportion any_inter_received;   ///< P(>= 1 intergroup arrival)
-  util::Accumulator duplicate_deliveries;
-};
-
-struct ScenarioPoint {
-  double alive_fraction = 1.0;
-  std::vector<ScenarioGroupStats> groups;  ///< indexed by topic
-  util::Accumulator total_messages;
-  util::Accumulator rounds;
-};
-
-/// Runs every (alive fraction × run) cell of the scenario to quiescence
-/// and returns one aggregated point per sweep entry.
-[[nodiscard]] std::vector<ScenarioPoint> run_scenario(
-    const Scenario& scenario);
-
-/// The named presets (fig8–fig11, dag-diamond, churn, ablations, ...).
+/// The named presets (fig8–fig11, dag-diamond, churn-light/heavy, ...).
 [[nodiscard]] const std::vector<Scenario>& scenario_registry();
 
 /// Registry lookup by name; nullptr when absent.
 [[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// Prints the registry as an aligned name/summary listing — the shared
+/// body of `--list-scenarios` in damsim and damlab. `tool` customizes the
+/// trailing "run one with: <tool> --scenario=<name>" hint.
+void print_registry(std::ostream& out, std::string_view tool);
 
 /// Builds a paper-style linear-hierarchy scenario (topics "T0".."Tn",
 /// root-first) — the shared skeleton of the fig8–fig11 presets.
 [[nodiscard]] Scenario make_linear_scenario(std::string name,
                                             std::string summary,
                                             std::vector<std::size_t> sizes);
-
-/// Renders the aggregated sweep as an aligned console table (one row per
-/// alive fraction; per-group intra/inter/reliability columns). When `csv`
-/// is non-null the same rows are mirrored there, header included.
-void print_scenario_report(const Scenario& scenario,
-                           const std::vector<ScenarioPoint>& points,
-                           std::ostream& out, util::CsvWriter* csv = nullptr);
 
 }  // namespace dam::sim

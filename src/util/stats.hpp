@@ -112,6 +112,12 @@ struct Proportion {
     if (success) ++successes;
   }
 
+  /// Combine two disjoint trial sets (exact; order-independent).
+  void merge(const Proportion& other) noexcept {
+    successes += other.successes;
+    trials += other.trials;
+  }
+
   [[nodiscard]] double estimate() const noexcept {
     return trials ? static_cast<double>(successes) / static_cast<double>(trials)
                   : 0.0;

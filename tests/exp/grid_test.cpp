@@ -1,0 +1,139 @@
+// exp/grid: spec parsing, cartesian expansion, and scenario application.
+#include "exp/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dam::exp {
+namespace {
+
+TEST(GridParse, EmptySpecHasNoAxes) {
+  EXPECT_TRUE(parse_grid("").empty());
+  EXPECT_TRUE(parse_grid("   \t ").empty());
+}
+
+TEST(GridParse, ListAndRangeItems) {
+  const auto axes = parse_grid("g=5,10,20 a=1:3");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].key, "g");
+  EXPECT_EQ(axes[0].values, (std::vector<double>{5, 10, 20}));
+  EXPECT_EQ(axes[1].key, "a");
+  EXPECT_EQ(axes[1].values, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(GridParse, RangeWithExplicitStepKeepsEndpoint) {
+  const auto axes = parse_grid("psucc=0.5:0.9:0.2");
+  ASSERT_EQ(axes.size(), 1u);
+  ASSERT_EQ(axes[0].values.size(), 3u);
+  EXPECT_DOUBLE_EQ(axes[0].values[0], 0.5);
+  EXPECT_DOUBLE_EQ(axes[0].values[1], 0.7);
+  EXPECT_DOUBLE_EQ(axes[0].values[2], 0.9);
+}
+
+TEST(GridParse, MixedListAndRange) {
+  const auto axes = parse_grid("z=1,3:5,8");
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_EQ(axes[0].values, (std::vector<double>{1, 3, 4, 5, 8}));
+}
+
+TEST(GridParse, SemicolonSeparatesAxesToo) {
+  const auto axes = parse_grid("a=1;g=2");
+  ASSERT_EQ(axes.size(), 2u);
+}
+
+TEST(GridParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_grid("a"), std::invalid_argument);        // no '='
+  EXPECT_THROW(parse_grid("a="), std::invalid_argument);       // no values
+  EXPECT_THROW(parse_grid("=3"), std::invalid_argument);       // no key
+  EXPECT_THROW(parse_grid("a=x"), std::invalid_argument);      // not a number
+  EXPECT_THROW(parse_grid("a=1,"), std::invalid_argument);     // trailing comma
+  EXPECT_THROW(parse_grid("a=3:1"), std::invalid_argument);    // hi < lo
+  EXPECT_THROW(parse_grid("a=1:4:0"), std::invalid_argument);  // step 0
+  EXPECT_THROW(parse_grid("wat=1"), std::invalid_argument);    // unknown key
+  EXPECT_THROW(parse_grid("a=1 a=2"), std::invalid_argument);  // repeated key
+  // Non-finite values would slip past every later `value < bound` check.
+  EXPECT_THROW(parse_grid("alive=nan"), std::invalid_argument);
+  EXPECT_THROW(parse_grid("runs=inf"), std::invalid_argument);
+}
+
+TEST(GridExpand, EmptyGridIsTheSingleEmptyPoint) {
+  const auto points = expand_grid({});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].empty());
+  EXPECT_EQ(grid_label(points[0]), "");
+}
+
+TEST(GridExpand, SinglePoint) {
+  const auto points = expand_grid(parse_grid("a=2"));
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].size(), 1u);
+  EXPECT_EQ(points[0][0].first, "a");
+  EXPECT_DOUBLE_EQ(points[0][0].second, 2.0);
+  EXPECT_EQ(grid_label(points[0]), "a=2");
+}
+
+TEST(GridExpand, CartesianProductLastAxisFastest) {
+  const auto points = expand_grid(parse_grid("a=1,2 g=5,10,20"));
+  ASSERT_EQ(points.size(), 6u);
+  // Declaration order (a, g) with g varying fastest.
+  EXPECT_EQ(grid_label(points[0]), "a=1 g=5");
+  EXPECT_EQ(grid_label(points[1]), "a=1 g=10");
+  EXPECT_EQ(grid_label(points[2]), "a=1 g=20");
+  EXPECT_EQ(grid_label(points[3]), "a=2 g=5");
+  EXPECT_EQ(grid_label(points[5]), "a=2 g=20");
+}
+
+TEST(GridApply, ParamKeysHitEveryTopicParamsEntry) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 100});
+  scenario.params = {core::TopicParams{}, core::TopicParams{}};
+  apply_grid_point(scenario, {{"g", 10.0}, {"z", 5.0}});
+  for (const core::TopicParams& params : scenario.params) {
+    EXPECT_DOUBLE_EQ(params.g, 10.0);
+    EXPECT_EQ(params.z, 5u);
+  }
+}
+
+TEST(GridApply, AliveScaleAndRuns) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 100});
+  scenario.alive_sweep = {0.0, 0.5, 1.0};
+  apply_grid_point(scenario, {{"alive", 0.7}, {"scale", 2.5}, {"runs", 9.0}});
+  EXPECT_EQ(scenario.alive_sweep, (std::vector<double>{0.7}));
+  EXPECT_EQ(scenario.group_sizes, (std::vector<std::size_t>{25, 250}));
+  EXPECT_EQ(scenario.runs, 9);
+}
+
+TEST(GridApply, ScaleNeverDropsAGroupToZero) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {2, 10});
+  apply_grid_point(scenario, {{"scale", 0.1}});
+  EXPECT_EQ(scenario.group_sizes, (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(GridApply, RaisingAAboveZGrowsTheTable) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  apply_grid_point(scenario, {{"a", 4.0}});  // default z = 3
+  EXPECT_DOUBLE_EQ(scenario.params[0].a, 4.0);
+  EXPECT_EQ(scenario.params[0].z, 4u);
+  // Explicit z later in the same point still wins.
+  sim::Scenario other = sim::make_linear_scenario("grid", "grid", {10});
+  apply_grid_point(other, {{"a", 4.0}, {"z", 8.0}});
+  EXPECT_EQ(other.params[0].z, 8u);
+}
+
+TEST(GridApply, RejectsOutOfDomainValues) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  EXPECT_THROW(apply_grid_point(scenario, {{"alive", 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"scale", -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"runs", 0.0}}),
+               std::invalid_argument);
+  // TopicParams::validate rejects a g of zero.
+  EXPECT_THROW(apply_grid_point(scenario, {{"g", 0.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dam::exp

@@ -1,0 +1,165 @@
+// exp/runner: the work-stealing pool and the jobs-independence guarantee —
+// the aggregate of a sweep is BIT-identical for any worker count.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace dam::exp {
+namespace {
+
+/// Bitwise comparison of two sweep aggregates (throughput fields excluded:
+/// wall time legitimately varies).
+void expect_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  EXPECT_EQ(a.total_events, b.total_events);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t pt = 0; pt < a.points.size(); ++pt) {
+    const ScenarioPoint& pa = a.points[pt];
+    const ScenarioPoint& pb = b.points[pt];
+    EXPECT_EQ(pa.alive_fraction, pb.alive_fraction);
+    EXPECT_EQ(pa.total_messages.count(), pb.total_messages.count());
+    EXPECT_EQ(pa.total_messages.mean(), pb.total_messages.mean());
+    EXPECT_EQ(pa.total_messages.variance(), pb.total_messages.variance());
+    EXPECT_EQ(pa.rounds.mean(), pb.rounds.mean());
+    ASSERT_EQ(pa.groups.size(), pb.groups.size());
+    for (std::size_t topic = 0; topic < pa.groups.size(); ++topic) {
+      const ScenarioGroupStats& ga = pa.groups[topic];
+      const ScenarioGroupStats& gb = pb.groups[topic];
+      EXPECT_EQ(ga.intra_sent.mean(), gb.intra_sent.mean());
+      EXPECT_EQ(ga.intra_sent.variance(), gb.intra_sent.variance());
+      EXPECT_EQ(ga.intra_sent.min(), gb.intra_sent.min());
+      EXPECT_EQ(ga.intra_sent.max(), gb.intra_sent.max());
+      EXPECT_EQ(ga.inter_sent.mean(), gb.inter_sent.mean());
+      EXPECT_EQ(ga.inter_received.mean(), gb.inter_received.mean());
+      EXPECT_EQ(ga.delivery_ratio.count(), gb.delivery_ratio.count());
+      EXPECT_EQ(ga.delivery_ratio.mean(), gb.delivery_ratio.mean());
+      EXPECT_EQ(ga.delivery_ratio.variance(), gb.delivery_ratio.variance());
+      EXPECT_EQ(ga.all_alive_delivered.successes,
+                gb.all_alive_delivered.successes);
+      EXPECT_EQ(ga.all_alive_delivered.trials, gb.all_alive_delivered.trials);
+      EXPECT_EQ(ga.any_inter_received.successes,
+                gb.any_inter_received.successes);
+      EXPECT_EQ(ga.duplicate_deliveries.mean(),
+                gb.duplicate_deliveries.mean());
+    }
+  }
+}
+
+sim::Scenario small_scenario() {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("pool", "pool test", {10, 80});
+  scenario.alive_sweep = {0.4, 0.7, 1.0};
+  scenario.runs = 37;  // deliberately not a multiple of the shard count
+  scenario.base_seed = 0xBEEF;
+  return scenario;
+}
+
+TEST(Runner, AggregatesAreBitIdenticalForAnyJobCount) {
+  const sim::Scenario scenario = small_scenario();
+  const SweepResult serial = run_sweep(scenario, {.jobs = 1});
+  for (unsigned jobs : {2u, 4u, 8u}) {
+    SCOPED_TRACE(jobs);
+    const SweepResult parallel = run_sweep(scenario, {.jobs = jobs});
+    EXPECT_EQ(parallel.jobs, jobs);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(Runner, ChurnScenarioIsAlsoJobsIndependent) {
+  // The churn regime draws its outage schedule from the engine seed, so it
+  // must shard exactly like the other regimes.
+  const sim::Scenario* preset = sim::find_scenario("churn-heavy");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 21;
+  expect_identical(run_sweep(scenario, {.jobs = 1}),
+                   run_sweep(scenario, {.jobs = 8}));
+}
+
+TEST(Runner, MoreShardsThanRunsIsFine) {
+  sim::Scenario scenario = small_scenario();
+  scenario.runs = 3;  // fewer than the default 32 shards
+  const SweepResult sweep = run_sweep(scenario, {.jobs = 4});
+  EXPECT_EQ(sweep.total_runs, 3u * scenario.alive_sweep.size());
+  for (const ScenarioPoint& point : sweep.points) {
+    EXPECT_EQ(point.rounds.count(), 3u);
+  }
+}
+
+TEST(Runner, CountsEveryRunExactlyOnce) {
+  const sim::Scenario scenario = small_scenario();
+  const SweepResult sweep = run_sweep(scenario, {.jobs = 5});
+  EXPECT_EQ(sweep.total_runs, 37u * 3u);
+  for (const ScenarioPoint& point : sweep.points) {
+    EXPECT_EQ(point.total_messages.count(), 37u);
+  }
+}
+
+TEST(Runner, RejectsBadOptionsAndScenarios) {
+  sim::Scenario scenario = small_scenario();
+  EXPECT_THROW(run_sweep(scenario, {.jobs = 1, .shards = 0}),
+               std::invalid_argument);
+  scenario.runs = 0;
+  EXPECT_THROW(run_sweep(scenario), std::invalid_argument);
+}
+
+TEST(RunParallel, RunsEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 103;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  run_parallel(tasks, 7);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(RunParallel, EmptyTaskListIsANoOp) {
+  run_parallel({}, 4);  // must not hang or crash
+}
+
+TEST(RunParallel, StealingDrainsAnUnbalancedLoad) {
+  // One worker's own queue holds almost everything (jobs > tasks dealt
+  // round-robin makes queues uneven only with few tasks); with 2 workers
+  // and tasks of wildly different cost, completion requires stealing or at
+  // least correct draining. We just assert totals.
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&done, i] {
+      volatile double sink = 0.0;
+      const int spins = (i == 0) ? 200000 : 100;  // task 0 is the heavy one
+      for (int k = 0; k < spins; ++k) sink = sink + static_cast<double>(k);
+      done.fetch_add(1);
+    });
+  }
+  run_parallel(tasks, 2);
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(RunParallel, PropagatesTaskExceptions) {
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      if (i == 3) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(run_parallel(tasks, 4), std::runtime_error);
+}
+
+TEST(Runner, ResolveJobsNeverReturnsZero) {
+  EXPECT_GE(resolve_jobs(0), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+}
+
+}  // namespace
+}  // namespace dam::exp

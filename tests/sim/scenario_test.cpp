@@ -1,17 +1,20 @@
-// The scenario layer: registry presets, topology building, and the
-// aggregation in run_scenario.
+// The scenario layer: registry presets, topology building, and config
+// derivation. Execution goes through exp::run_sweep (tests/exp covers the
+// runner itself).
 #include "sim/scenario.hpp"
 
 #include <gtest/gtest.h>
 
 #include <unordered_set>
 
+#include "exp/runner.hpp"
+
 namespace dam::sim {
 namespace {
 
-TEST(ScenarioRegistry, HasAtLeastSixUniquePresets) {
+TEST(ScenarioRegistry, HasAtLeastEightUniquePresets) {
   const auto& registry = scenario_registry();
-  EXPECT_GE(registry.size(), 6u);
+  EXPECT_GE(registry.size(), 8u);
   std::unordered_set<std::string> names;
   for (const Scenario& scenario : registry) {
     EXPECT_TRUE(names.insert(scenario.name).second)
@@ -38,23 +41,43 @@ TEST(ScenarioRegistry, EveryPresetIsWellFormed) {
 TEST(ScenarioRegistry, EveryPresetRunsEndToEnd) {
   // One cheap run per preset (single sweep point, few runs) must complete
   // and produce sane aggregates — this is what backs
-  // `damsim --scenario=<name>` for every listed name.
+  // `damsim --scenario=<name>` and `damlab` for every listed name.
   for (const Scenario& preset : scenario_registry()) {
     SCOPED_TRACE(preset.name);
     Scenario scenario = preset;
     scenario.alive_sweep = {scenario.alive_sweep.back()};
     scenario.runs = 3;
-    const auto points = run_scenario(scenario);
-    ASSERT_EQ(points.size(), 1u);
-    ASSERT_EQ(points[0].groups.size(), scenario.topic_names.size());
-    EXPECT_EQ(points[0].rounds.count(), 3u);
+    const exp::SweepResult sweep = exp::run_sweep(scenario);
+    ASSERT_EQ(sweep.points.size(), 1u);
+    ASSERT_EQ(sweep.points[0].groups.size(), scenario.topic_names.size());
+    EXPECT_EQ(sweep.points[0].rounds.count(), 3u);
+    EXPECT_EQ(sweep.total_runs, 3u);
     // The publish group always delivers at least the publisher when any
     // member is alive.
-    if (scenario.alive_sweep[0] > 0.0) {
-      EXPECT_GT(points[0].groups[scenario.publish_topic].delivery_ratio.mean(),
-                0.0);
+    if (scenario.alive_sweep[0] > 0.0 &&
+        scenario.failure_mode != core::FrozenFailureMode::kChurn) {
+      EXPECT_GT(
+          sweep.points[0].groups[scenario.publish_topic].delivery_ratio.mean(),
+          0.0);
     }
   }
+}
+
+TEST(ScenarioRegistry, ChurnPresetsUseTheChurnSchedule) {
+  for (const char* name : {"churn-light", "churn-heavy"}) {
+    SCOPED_TRACE(name);
+    const Scenario* preset = find_scenario(name);
+    ASSERT_NE(preset, nullptr);
+    EXPECT_EQ(preset->failure_mode, core::FrozenFailureMode::kChurn);
+    EXPECT_GT(preset->churn.outages, 0u);
+    EXPECT_GT(preset->churn.outage_length, 0u);
+    EXPECT_GT(preset->churn.horizon, 0u);
+  }
+  // "heavy" must actually be heavier than "light".
+  const Scenario* light = find_scenario("churn-light");
+  const Scenario* heavy = find_scenario("churn-heavy");
+  EXPECT_GT(heavy->churn.outages * heavy->churn.outage_length,
+            light->churn.outages * light->churn.outage_length);
 }
 
 TEST(Scenario, FindScenarioLooksUpByName) {
@@ -81,26 +104,37 @@ TEST(Scenario, BadEdgeIndexThrows) {
   EXPECT_THROW(scenario.build_dag(), std::invalid_argument);
 }
 
+TEST(Scenario, ConfigForDerivesSeedFromPointAndRun) {
+  const Scenario scenario = make_linear_scenario("seed", "seed", {10, 100});
+  const topics::TopicDag dag = scenario.build_dag();
+  const auto a = scenario.config_for(dag, 0.5, 3);
+  const auto b = scenario.config_for(dag, 0.5, 3);
+  EXPECT_EQ(a.seed, b.seed);  // pure function of (base_seed, point, run)
+  EXPECT_NE(a.seed, scenario.config_for(dag, 0.5, 4).seed);
+  EXPECT_NE(a.seed, scenario.config_for(dag, 0.6, 3).seed);
+}
+
 TEST(Scenario, RunsAreDeterministicPerSeed) {
   Scenario scenario = make_linear_scenario("det", "determinism", {10, 100});
   scenario.runs = 5;
   scenario.alive_sweep = {0.8};
-  const auto a = run_scenario(scenario);
-  const auto b = run_scenario(scenario);
-  ASSERT_EQ(a.size(), b.size());
-  EXPECT_DOUBLE_EQ(a[0].total_messages.mean(), b[0].total_messages.mean());
-  EXPECT_DOUBLE_EQ(a[0].groups[1].intra_sent.mean(),
-                   b[0].groups[1].intra_sent.mean());
+  const auto a = exp::run_sweep(scenario);
+  const auto b = exp::run_sweep(scenario);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_DOUBLE_EQ(a.points[0].total_messages.mean(),
+                   b.points[0].total_messages.mean());
+  EXPECT_DOUBLE_EQ(a.points[0].groups[1].intra_sent.mean(),
+                   b.points[0].groups[1].intra_sent.mean());
 }
 
 TEST(Scenario, VacuousRunsAreExcludedFromReliability) {
   Scenario scenario = make_linear_scenario("dead", "all dead", {5, 10});
   scenario.alive_sweep = {0.0};
   scenario.runs = 4;
-  const auto points = run_scenario(scenario);
+  const auto sweep = exp::run_sweep(scenario);
   // Nobody alive: no delivery-ratio samples at all, rather than fake 1.0s.
-  EXPECT_EQ(points[0].groups[0].delivery_ratio.count(), 0u);
-  EXPECT_EQ(points[0].groups[1].all_alive_delivered.trials, 0u);
+  EXPECT_EQ(sweep.points[0].groups[0].delivery_ratio.count(), 0u);
+  EXPECT_EQ(sweep.points[0].groups[1].all_alive_delivered.trials, 0u);
 }
 
 }  // namespace

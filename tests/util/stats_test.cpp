@@ -135,6 +135,28 @@ TEST(Proportion, AllSuccessesBoundBelowOne) {
   EXPECT_DOUBLE_EQ(p.wilson_high(), 1.0);
 }
 
+TEST(Proportion, MergeIsExactAndOrderIndependent) {
+  Proportion a;
+  Proportion b;
+  Proportion sequential;
+  for (int i = 0; i < 7; ++i) {
+    a.add(i % 2 == 0);
+    sequential.add(i % 2 == 0);
+  }
+  for (int i = 0; i < 5; ++i) {
+    b.add(i == 0);
+    sequential.add(i == 0);
+  }
+  Proportion ab = a;
+  ab.merge(b);
+  Proportion ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.successes, sequential.successes);
+  EXPECT_EQ(ab.trials, sequential.trials);
+  EXPECT_EQ(ba.successes, sequential.successes);
+  EXPECT_EQ(ba.trials, sequential.trials);
+}
+
 TEST(Proportion, IntervalNarrowsWithTrials) {
   Proportion few;
   Proportion many;

@@ -1,91 +1,38 @@
 // damsim — command-line driver for the unified frozen-table engine.
 //
-// Two modes:
+// Two modes, both executed by the parallel experiment runner (src/exp);
+// results are bit-identical for every --jobs value:
 //  * ad-hoc linear hierarchy, every parameter exposed as a flag:
 //      damsim --sizes=10,100,1000 --alive=0.7 --runs=100
-//      damsim --sweep --csv=out.csv --g=10 --z=5
+//      damsim --sweep --csv=out.csv --g=10 --z=5 --jobs=4
 //      damsim --publish-level=0 --runs=20
 //  * named scenario presets from the registry (src/sim/scenario.cpp):
 //      damsim --list-scenarios
-//      damsim --scenario=fig9 [--csv=out.csv] [--runs=N]
+//      damsim --scenario=fig9 [--csv=out.csv] [--runs=N] [--jobs=N]
+//
+// For grids over several scenarios/parameters and JSON bench reports, use
+// the full lab frontend: tools/damlab.cpp.
 #include <iostream>
 #include <memory>
 
-#include "core/static_sim.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
-#include "util/stats.hpp"
 
 namespace {
 
-struct Row {
-  double alive;
-  std::vector<dam::util::Accumulator> intra;
-  std::vector<dam::util::Accumulator> fraction;
-  std::vector<dam::util::Proportion> all;
-  dam::util::Accumulator inter_total;
-};
-
-Row run_point(const dam::core::StaticSimConfig& base, double alive,
-              int runs) {
-  Row row;
-  row.alive = alive;
-  const std::size_t levels = base.group_sizes.size();
-  row.intra.resize(levels);
-  row.fraction.resize(levels);
-  row.all.resize(levels);
-  for (int run = 0; run < runs; ++run) {
-    dam::core::StaticSimConfig config = base;
-    config.alive_fraction = alive;
-    config.seed = base.seed + static_cast<std::uint64_t>(run) * 7919;
-    const auto result = dam::core::run_static_simulation(config);
-    double inter = 0.0;
-    for (std::size_t level = 0; level < levels; ++level) {
-      row.intra[level].add(
-          static_cast<double>(result.groups[level].intra_sent));
-      if (result.groups[level].alive > 0) {
-        row.fraction[level].add(result.groups[level].delivery_ratio());
-        row.all[level].add(result.groups[level].all_alive_delivered);
-      }
-      inter += static_cast<double>(result.groups[level].inter_sent);
-    }
-    row.inter_total.add(inter);
-  }
-  return row;
-}
-
-int list_scenarios() {
-  std::cout << "available scenarios:\n";
-  for (const dam::sim::Scenario& scenario : dam::sim::scenario_registry()) {
-    std::cout << "  " << scenario.name;
-    for (std::size_t pad = scenario.name.size(); pad < 22; ++pad) {
-      std::cout << ' ';
-    }
-    std::cout << scenario.summary << "\n";
-  }
-  std::cout << "\nrun one with: damsim --scenario=<name>\n";
-  return 0;
-}
-
-int run_named_scenario(const std::string& name, const std::string& csv_path,
-                       std::int64_t runs_override) {
-  const dam::sim::Scenario* preset = dam::sim::find_scenario(name);
-  if (preset == nullptr) {
-    std::cerr << "damsim: unknown scenario '" << name
-              << "' (see --list-scenarios)\n";
-    return 2;
-  }
-  dam::sim::Scenario scenario = *preset;
-  if (runs_override > 0) scenario.runs = static_cast<int>(runs_override);
-  std::cout << "\n=== scenario " << scenario.name << " ===\n"
-            << scenario.summary << "\n\n";
-  const auto points = dam::sim::run_scenario(scenario);
+/// Runs one scenario through the pool and prints the shared report.
+int run_and_report(const dam::sim::Scenario& scenario,
+                   const std::string& csv_path,
+                   const dam::exp::RunnerOptions& options) {
+  const dam::exp::SweepResult sweep = dam::exp::run_sweep(scenario, options);
   std::unique_ptr<dam::util::CsvWriter> csv;
   if (!csv_path.empty()) {
     csv = std::make_unique<dam::util::CsvWriter>(csv_path);
   }
-  dam::sim::print_scenario_report(scenario, points, std::cout, csv.get());
+  dam::exp::print_sweep_table(sweep.points, std::cout, csv.get());
   return 0;
 }
 
@@ -100,6 +47,7 @@ int main(int argc, char** argv) {
   args.add_option("alive", "1.0", "fraction of alive processes");
   args.add_option("runs", "100", "simulation runs per data point");
   args.add_option("seed", "1", "base random seed");
+  args.add_option("jobs", "0", "worker threads (0 = hardware concurrency)");
   args.add_option("b", "3", "topic-table capacity factor");
   args.add_option("c", "5", "gossip fanout constant");
   args.add_option("g", "5", "expected intergroup links (psel = g/S)");
@@ -126,24 +74,38 @@ int main(int argc, char** argv) {
     std::cout << args.help_text();
     return 0;
   }
-  if (args.flag("list-scenarios")) return list_scenarios();
-  if (!args.str("scenario").empty()) {
-    // Presets carry their own run count; an explicit --runs overrides it.
-    std::int64_t runs_override = 0;
-    try {
-      if (args.provided("runs")) runs_override = args.integer("runs");
-    } catch (const util::ArgError& error) {
-      std::cerr << "damsim: " << error.what() << "\n";
-      return 2;
-    }
-    return run_named_scenario(args.str("scenario"), args.str("csv"),
-                              runs_override);
+  if (args.flag("list-scenarios")) {
+    sim::print_registry(std::cout, "damsim");
+    return 0;
   }
 
-  core::StaticSimConfig base;
-  core::TopicParams params;
   try {
-    base.group_sizes = args.size_list("sizes");
+    if (args.integer("jobs") < 0) {
+      std::cerr << "damsim: --jobs must be >= 0\n";
+      return 2;
+    }
+    exp::RunnerOptions options;
+    options.jobs = static_cast<unsigned>(args.integer("jobs"));
+
+    if (!args.str("scenario").empty()) {
+      const sim::Scenario* preset = sim::find_scenario(args.str("scenario"));
+      if (preset == nullptr) {
+        std::cerr << "damsim: unknown scenario '" << args.str("scenario")
+                  << "' (see --list-scenarios)\n";
+        return 2;
+      }
+      sim::Scenario scenario = *preset;
+      // Presets carry their own run count; an explicit --runs overrides it.
+      if (args.provided("runs") && args.integer("runs") > 0) {
+        scenario.runs = static_cast<int>(args.integer("runs"));
+      }
+      std::cout << "\n=== scenario " << scenario.name << " ===\n"
+                << scenario.summary << "\n\n";
+      return run_and_report(scenario, args.str("csv"), options);
+    }
+
+    // Ad-hoc mode: a linear hierarchy built entirely from flags.
+    core::TopicParams params;
     params.b = args.real("b");
     params.c = args.real("c");
     params.g = args.real("g");
@@ -151,64 +113,32 @@ int main(int argc, char** argv) {
     params.a = args.real("a");
     params.psucc = args.real("psucc");
     params.validate();
+
+    sim::Scenario scenario = sim::make_linear_scenario(
+        "adhoc", "flag-built linear hierarchy", args.size_list("sizes"));
+    scenario.params = {params};
+    scenario.base_seed = static_cast<std::uint64_t>(args.integer("seed"));
+    scenario.runs = static_cast<int>(args.integer("runs"));
+    if (args.flag("dynamic")) {
+      scenario.failure_mode = core::FrozenFailureMode::kDynamicPerception;
+    }
+    if (const auto level = args.integer("publish-level"); level >= 0) {
+      scenario.publish_topic = static_cast<std::uint32_t>(level);
+    }
+    if (args.flag("sweep")) {
+      scenario.alive_sweep.clear();
+      for (int i = 0; i <= 10; ++i) scenario.alive_sweep.push_back(0.1 * i);
+    } else {
+      scenario.alive_sweep = {args.real("alive")};
+    }
+    return run_and_report(scenario, args.str("csv"), options);
   } catch (const util::ArgError& error) {
     std::cerr << "damsim: " << error.what() << "\n";
     return 2;
-  } catch (const std::invalid_argument& error) {
-    std::cerr << "damsim: " << error.what() << "\n";
-    return 2;
-  }
-  base.params = {params};
-  base.seed = static_cast<std::uint64_t>(args.integer("seed"));
-  if (args.flag("dynamic")) {
-    base.failure_mode = core::StaticFailureMode::kDynamicPerception;
-  }
-  if (const auto level = args.integer("publish-level"); level >= 0) {
-    base.publish_level = static_cast<std::size_t>(level);
-  }
-  const int runs = static_cast<int>(args.integer("runs"));
-
-  std::vector<double> points;
-  if (args.flag("sweep")) {
-    for (int i = 0; i <= 10; ++i) points.push_back(0.1 * i);
-  } else {
-    points.push_back(args.real("alive"));
-  }
-
-  const std::size_t levels = base.group_sizes.size();
-  std::vector<std::string> columns{"alive"};
-  for (std::size_t level = 0; level < levels; ++level) {
-    const std::string tag = "L" + std::to_string(level);
-    columns.push_back(tag + " intra");
-    columns.push_back(tag + " frac");
-    columns.push_back(tag + " all");
-  }
-  columns.push_back("inter total");
-  util::ConsoleTable table(columns);
-  std::unique_ptr<util::CsvWriter> csv;
-  if (!args.str("csv").empty()) {
-    csv = std::make_unique<util::CsvWriter>(args.str("csv"));
-    csv->header(columns);
-  }
-
-  try {
-    for (double alive : points) {
-      const Row row = run_point(base, alive, runs);
-      std::vector<std::string> cells{util::fixed(alive, 1)};
-      for (std::size_t level = 0; level < levels; ++level) {
-        cells.push_back(util::fixed(row.intra[level].mean(), 0));
-        cells.push_back(util::fixed(row.fraction[level].mean(), 3));
-        cells.push_back(util::fixed(row.all[level].estimate(), 2));
-      }
-      cells.push_back(util::fixed(row.inter_total.mean(), 2));
-      table.row_strings(cells);
-      if (csv) csv->row_strings(cells);
-    }
   } catch (const std::invalid_argument& error) {
     // Bad engine config (empty group, out-of-range publish level, ...).
     std::cerr << "damsim: " << error.what() << "\n";
     return 2;
   }
-  table.print(std::cout);
   return 0;
 }
