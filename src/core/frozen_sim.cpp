@@ -1,7 +1,8 @@
 #include "core/frozen_sim.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <chrono>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -19,15 +20,50 @@ struct Coord {
   std::uint32_t index;
 };
 
-struct Group {
-  std::size_t size = 0;
-  std::vector<std::vector<std::uint32_t>> topic_table;  // per process
-  // One supertopic table per direct supertopic, aligned with dag.supers():
-  // super_tables[process][parent_slot] = indices in that parent's group.
-  std::vector<std::vector<std::vector<std::uint32_t>>> super_tables;
-  std::vector<bool> alive;  // stillborn regime; all-true otherwise
-  std::vector<bool> delivered;
-};
+void check_offset_range(std::size_t entries) {
+  if (entries > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "build_frozen_tables: arena exceeds uint32 offsets");
+  }
+}
+
+/// Topic-table rows, legacy stream: reproduce, draw for draw, the historical
+///   others = [0..S-1] \ {i}; table[i] = rng.sample(others, view_size);
+/// without ever copying the pool. The candidate buffer IS others_i at the
+/// top of each iteration: sample_with_undo restores it after the partial
+/// Fisher–Yates, and stepping i -> i+1 changes exactly one slot (position i
+/// holds i+1 in others_i and i in others_{i+1}; every other position is
+/// identical). O(k) per process after the one O(S) fill.
+void build_topic_rows_legacy(GroupTables& group, std::size_t view_size,
+                             std::vector<std::uint32_t>& candidates,
+                             util::Rng& rng) {
+  const std::size_t size = group.size;
+  candidates.resize(size - 1);
+  for (std::uint32_t j = 0; j + 1 < size; ++j) candidates[j] = j + 1;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t written = rng.sample_with_undo(
+        std::span<std::uint32_t>(candidates), view_size,
+        group.topic_entries.data() + group.topic_offsets[i]);
+    group.topic_offsets[i + 1] =
+        group.topic_offsets[i] + static_cast<std::uint32_t>(written);
+    if (i + 1 < size) candidates[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void build_topic_rows_fast(GroupTables& group, std::size_t view_size,
+                           util::Rng& rng) {
+  const std::size_t size = group.size;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::uint32_t* row = group.topic_entries.data() + group.topic_offsets[i];
+    const std::size_t written = rng.draw_distinct_below(size - 1, view_size, row);
+    // Drawn over [0, S-1); shift past self to land on [0, S) \ {i}.
+    for (std::size_t e = 0; e < written; ++e) {
+      if (row[e] >= i) ++row[e];
+    }
+    group.topic_offsets[i + 1] =
+        group.topic_offsets[i] + static_cast<std::uint32_t>(written);
+  }
+}
 
 }  // namespace
 
@@ -36,6 +72,97 @@ const TopicParams& params_for_topic(const FrozenSimConfig& config,
   static const TopicParams kDefaults{};
   if (config.params.empty()) return kDefaults;
   return config.params[std::min(topic, config.params.size() - 1)];
+}
+
+FrozenTables build_frozen_tables(const FrozenSimConfig& config,
+                                 util::Rng& rng) {
+  const topics::TopicDag& dag = *config.dag;
+  const bool stillborn = config.failure_mode == FrozenFailureMode::kStillborn;
+  const bool fast = config.table_build == TableBuild::kFast;
+  const double fail_probability = 1.0 - config.alive_fraction;
+
+  FrozenTables tables;
+  tables.groups.resize(dag.size());
+  // Reused across groups in legacy mode; grows once to the largest group.
+  std::vector<std::uint32_t> candidates;
+
+  // Draw order per topic (alive flags, then every topic table, then every
+  // supertopic table, parent slot-major) is load-bearing in legacy mode: it
+  // matches the historical StaticSimulation stream on path DAGs.
+  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+    GroupTables& group = tables.groups[topic];
+    group.size = config.group_sizes[topic];
+    const TopicParams& params = params_for_topic(config, topic);
+    const auto& parents = dag.supers(topics::DagTopicId{topic});
+    group.parent_count = parents.size();
+
+    group.alive.assign(group.size, true);
+    if (stillborn) {
+      for (std::size_t i = 0; i < group.size; ++i) {
+        if (rng.bernoulli(fail_probability)) group.alive[i] = false;
+      }
+    }
+
+    // Topic table: (b+1)·ln(S) uniform group members (failed ones stay in —
+    // "the membership algorithm does not replace a failed process").
+    const std::size_t view_size =
+        std::min(params.view_capacity(group.size), group.size - 1);
+    check_offset_range(group.size * view_size);
+    group.topic_offsets.assign(group.size + 1, 0);
+    group.topic_entries.resize(group.size * view_size);
+    if (group.size > 1) {
+      if (fast) {
+        build_topic_rows_fast(group, view_size, rng);
+      } else {
+        build_topic_rows_legacy(group, view_size, candidates, rng);
+      }
+    }
+    group.topic_entries.resize(group.topic_offsets[group.size]);
+
+    // One supertopic table of z uniform parent-group members per direct
+    // supertopic. The legacy builder refilled [0..P) once per slot and let
+    // sample() copy it per process; here sample_with_undo borrows the same
+    // buffer and restores it, so no per-process update is needed at all.
+    std::size_t super_width = 0;
+    for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+      super_width += std::min(params.z, config.group_sizes[parents[slot].value]);
+    }
+    check_offset_range(group.size * super_width);
+    group.super_offsets.assign(group.size * parents.size() + 1, 0);
+    group.super_entries.resize(group.size * super_width);
+    // Slot-major draw order (all of slot 0, then all of slot 1, ...) is the
+    // historical order; the CSR rows are process-major, so offsets are laid
+    // out first and each slot column is filled through them.
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < group.size; ++i) {
+      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+        group.super_offsets[i * parents.size() + slot] = running;
+        running += static_cast<std::uint32_t>(
+            std::min(params.z, config.group_sizes[parents[slot].value]));
+      }
+    }
+    group.super_offsets[group.size * parents.size()] = running;
+    for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+      const std::size_t parent_size = config.group_sizes[parents[slot].value];
+      if (fast) {
+        for (std::size_t i = 0; i < group.size; ++i) {
+          std::uint32_t* row = group.super_entries.data() +
+                               group.super_offsets[i * parents.size() + slot];
+          rng.draw_distinct_below(parent_size, params.z, row);
+        }
+      } else {
+        candidates.resize(parent_size);
+        for (std::uint32_t j = 0; j < parent_size; ++j) candidates[j] = j;
+        for (std::size_t i = 0; i < group.size; ++i) {
+          rng.sample_with_undo(
+              std::span<std::uint32_t>(candidates), params.z,
+              group.super_entries.data() +
+                  group.super_offsets[i * parents.size() + slot]);
+        }
+      }
+    }
+  }
+  return tables;
 }
 
 FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
@@ -63,61 +190,22 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
   const double fail_probability = 1.0 - config.alive_fraction;
 
   // --- Build frozen membership tables (Sec. VII-A). -----------------------
-  // Draw order per topic (alive flags, then every topic table, then every
-  // supertopic table, parent slot-major) is load-bearing: it matches the
-  // historical StaticSimulation stream on path DAGs (see header comment).
-  std::vector<Group> groups(dag.size());
-  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-    Group& group = groups[topic];
-    group.size = config.group_sizes[topic];
-    const TopicParams& params = params_for_topic(config, topic);
-    group.topic_table.resize(group.size);
-    group.super_tables.resize(group.size);
-    group.delivered.assign(group.size, false);
-    group.alive.assign(group.size, true);
-    if (stillborn) {
-      for (std::size_t i = 0; i < group.size; ++i) {
-        if (rng.bernoulli(fail_probability)) group.alive[i] = false;
-      }
-    }
-
-    // Topic table: (b+1)·ln(S) uniform group members (failed ones stay in —
-    // "the membership algorithm does not replace a failed process").
-    const std::size_t view_size =
-        std::min(params.view_capacity(group.size), group.size - 1);
-    std::vector<std::uint32_t> others;
-    others.reserve(group.size - 1);
-    for (std::size_t i = 0; i < group.size; ++i) {
-      others.clear();
-      for (std::uint32_t j = 0; j < group.size; ++j) {
-        if (j != static_cast<std::uint32_t>(i)) others.push_back(j);
-      }
-      group.topic_table[i] = rng.sample(others, view_size);
-    }
-
-    // One supertopic table of z uniform parent-group members per direct
-    // supertopic.
-    const auto& parents = dag.supers(topics::DagTopicId{topic});
-    for (std::size_t i = 0; i < group.size; ++i) {
-      group.super_tables[i].resize(parents.size());
-    }
-    for (std::size_t slot = 0; slot < parents.size(); ++slot) {
-      const std::size_t parent_size =
-          config.group_sizes[parents[slot].value];
-      std::vector<std::uint32_t> candidates(parent_size);
-      for (std::uint32_t j = 0; j < parent_size; ++j) candidates[j] = j;
-      for (std::size_t i = 0; i < group.size; ++i) {
-        group.super_tables[i][slot] = rng.sample(candidates, params.z);
-      }
-    }
-  }
+  const auto build_started = std::chrono::steady_clock::now();
+  FrozenTables tables = build_frozen_tables(config, rng);
+  std::vector<GroupTables>& groups = tables.groups;
+  const auto waves_started = std::chrono::steady_clock::now();
 
   FrozenRunResult result;
+  result.table_build_seconds =
+      std::chrono::duration<double>(waves_started - build_started).count();
+  result.table_bytes = tables.arena_bytes();
   result.groups.resize(dag.size());
+  std::vector<std::vector<bool>> delivered(dag.size());
   for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
     result.groups[topic].size = groups[topic].size;
     result.groups[topic].alive = static_cast<std::size_t>(std::count(
         groups[topic].alive.begin(), groups[topic].alive.end(), true));
+    delivered[topic].assign(groups[topic].size, false);
   }
 
   // Churn regime: sample per-process outage schedules AFTER the tables, so
@@ -137,11 +225,19 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
   }
   std::size_t rounds = 0;
 
+  auto finish_timing = [&] {
+    result.dissemination_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      waves_started)
+            .count();
+  };
+
   // A message to (topic, index) gets through iff the channel coin succeeds
   // AND the target is (perceived) alive — at the current round in the
   // churn regime.
   auto delivered_ok = [&](const TopicParams& params, std::uint32_t topic,
-                          const Group& target_group, std::uint32_t target) {
+                          const GroupTables& target_group,
+                          std::uint32_t target) {
     if (!protocol::channel_delivers(params.psucc, rng)) return false;
     if (stillborn) return static_cast<bool>(target_group.alive[target]);
     if (churning) {
@@ -167,6 +263,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
       result.groups[topic].all_alive_delivered =
           result.groups[topic].alive == 0;
     }
+    finish_timing();
     return result;
   }
 
@@ -179,20 +276,25 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
     group_result.last_delivery_round = round;
   };
 
-  std::deque<Coord> frontier;
+  // Frontiers are two flat vectors swapped per round; together with the
+  // reused fanout scratch this keeps the wave loop allocation-free at
+  // steady state (the old deques churned a chunk allocation per block).
+  std::vector<Coord> frontier;
+  std::vector<Coord> next;
+  std::vector<std::uint32_t> fanout_scratch;
   {
     const std::uint32_t publisher =
         alive_candidates[rng.below(alive_candidates.size())];
-    groups[publish].delivered[publisher] = true;
+    delivered[publish][publisher] = true;
     note_delivery(publish, 0);
     frontier.push_back(Coord{publish, publisher});
   }
 
   while (!frontier.empty()) {
     ++rounds;
-    std::deque<Coord> next;
+    next.clear();
     for (const Coord& coord : frontier) {
-      Group& group = groups[coord.topic];
+      GroupTables& group = groups[coord.topic];
       const TopicParams& params = params_for_topic(config, coord.topic);
       auto& my_result = result.groups[coord.topic];
       const auto& parents = dag.supers(topics::DagTopicId{coord.topic});
@@ -202,18 +304,18 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
       // parents and skip this.
       for (std::size_t slot = 0; slot < parents.size(); ++slot) {
         const std::uint32_t parent = parents[slot].value;
-        Group& parent_group = groups[parent];
+        GroupTables& parent_group = groups[parent];
         protocol::for_each_intergroup_target(
-            params, group.size, group.super_tables[coord.index][slot], rng,
+            params, group.size, group.super_row(coord.index, slot), rng,
             [&](std::uint32_t target) {
               ++my_result.inter_sent;
               if (!delivered_ok(params, parent, parent_group, target)) return;
               ++result.groups[parent].inter_received;
-              if (parent_group.delivered[target]) {
+              if (delivered[parent][target]) {
                 ++result.groups[parent].duplicate_deliveries;
                 return;
               }
-              parent_group.delivered[target] = true;
+              delivered[parent][target] = true;
               note_delivery(parent, rounds);
               next.push_back(Coord{parent, target});
             });
@@ -221,42 +323,45 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
 
       // (2) Intra-group gossip leg (Fig. 7 lines 8–14): fanout distinct
       // targets, without replacement (the Ω set).
-      for (std::uint32_t target : protocol::fanout_targets(
-               params, group.size, group.topic_table[coord.index], rng)) {
+      protocol::fanout_targets_into(params, group.size,
+                                    group.topic_row(coord.index), rng,
+                                    fanout_scratch);
+      for (std::uint32_t target : fanout_scratch) {
         ++my_result.intra_sent;
         if (!delivered_ok(params, coord.topic, group, target)) continue;
-        if (group.delivered[target]) {
+        if (delivered[coord.topic][target]) {
           ++my_result.duplicate_deliveries;
           continue;
         }
-        group.delivered[target] = true;
+        delivered[coord.topic][target] = true;
         note_delivery(coord.topic, rounds);
         next.push_back(Coord{coord.topic, target});
       }
     }
-    frontier = std::move(next);
+    frontier.swap(next);
   }
 
   // --- Final accounting. --------------------------------------------------
   result.rounds = rounds;
   for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
-    const Group& group = groups[topic];
+    const GroupTables& group = groups[topic];
     auto& group_result = result.groups[topic];
-    std::size_t delivered = 0;
+    std::size_t count = 0;
     for (std::size_t i = 0; i < group.size; ++i) {
-      if (group.alive[i] && group.delivered[i]) ++delivered;
+      if (group.alive[i] && delivered[topic][i]) ++count;
     }
-    group_result.delivered = delivered;
+    group_result.delivered = count;
     // "All delivered" only meaningful for groups the event should reach:
     // the publish topic and its ancestor closure. Other groups are correct
     // exactly when they stayed clean.
     const bool should_receive =
         dag.includes(topics::DagTopicId{topic}, config.publish_topic);
     group_result.all_alive_delivered =
-        should_receive ? delivered == group_result.alive : delivered == 0;
+        should_receive ? count == group_result.alive : count == 0;
     result.total_messages +=
         group_result.intra_sent + group_result.inter_sent;
   }
+  finish_timing();
   return result;
 }
 

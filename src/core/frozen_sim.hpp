@@ -26,10 +26,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/params.hpp"
 #include "topics/dag.hpp"
+#include "util/rng.hpp"
 
 namespace dam::core {
 
@@ -40,6 +42,19 @@ enum class FrozenFailureMode {
                        ///< (Fig. 11)
   kChurn,              ///< crash/recovery outages on a precomputed schedule
                        ///< (sim::ChurnFailures); alive_fraction is ignored
+};
+
+/// How the frozen membership tables are sampled.
+enum class TableBuild {
+  kLegacy,  ///< Bit-for-bit the historical stream: the same Fisher–Yates
+            ///< draws the old per-process pool-copy builder made, realized
+            ///< in O(S·k) per group via an incrementally-maintained
+            ///< candidate buffer and swap-undo (see build_frozen_tables).
+            ///< Default, so every existing scenario stays bit-identical.
+  kFast,    ///< Floyd-style distinct-index draws straight into the arena:
+            ///< a NEW stream (statistically equivalent tables, different
+            ///< bits), no candidate buffer at all. Use for giant groups
+            ///< (S >= 1e5) where even the O(S) buffer walk matters.
 };
 
 /// Churn regime knobs (FrozenFailureMode::kChurn): every process suffers
@@ -70,7 +85,72 @@ struct FrozenSimConfig {
 
   topics::DagTopicId publish_topic{};
   std::uint64_t seed = 1;
+
+  TableBuild table_build = TableBuild::kLegacy;
 };
+
+/// Flat CSR membership arena for one group — the frozen tables of every
+/// process, packed into two contiguous uint32 buffers instead of S (or
+/// S×parents) little heap vectors:
+///   * topic-table row of process i:
+///       topic_entries[topic_offsets[i] .. topic_offsets[i+1])
+///   * supertopic table of (process i, parent slot s), slots aligned with
+///     TopicDag::supers():
+///       super_entries[super_offsets[i*parent_count + s] ..
+///                     super_offsets[i*parent_count + s + 1])
+/// Peak memory is the O(S·k) arena itself; construction allocates nothing
+/// per process.
+struct GroupTables {
+  std::size_t size = 0;
+  std::size_t parent_count = 0;
+  std::vector<std::uint32_t> topic_offsets;  ///< size + 1
+  std::vector<std::uint32_t> topic_entries;
+  std::vector<std::uint32_t> super_offsets;  ///< size * parent_count + 1
+  std::vector<std::uint32_t> super_entries;
+  std::vector<bool> alive;  ///< stillborn regime; all-true otherwise
+
+  [[nodiscard]] std::span<const std::uint32_t> topic_row(
+      std::size_t process) const {
+    return {topic_entries.data() + topic_offsets[process],
+            topic_entries.data() + topic_offsets[process + 1]};
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> super_row(
+      std::size_t process, std::size_t slot) const {
+    const std::size_t row = process * parent_count + slot;
+    return {super_entries.data() + super_offsets[row],
+            super_entries.data() + super_offsets[row + 1]};
+  }
+
+  /// Bytes held by the four flat buffers (the membership footprint).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return (topic_offsets.capacity() + topic_entries.capacity() +
+            super_offsets.capacity() + super_entries.capacity()) *
+           sizeof(std::uint32_t);
+  }
+};
+
+/// The frozen tables of every group, indexed by DagTopicId::value.
+struct FrozenTables {
+  std::vector<GroupTables> groups;
+
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const GroupTables& group : groups) total += group.arena_bytes();
+    return total;
+  }
+};
+
+/// Builds the frozen membership tables (and the stillborn alive flags,
+/// which the historical stream interleaves with them) by drawing from
+/// `rng`. With TableBuild::kLegacy the stream consumption — and therefore
+/// every table entry — is bit-identical to the historical builder that
+/// copied an (S-1)-element candidate pool per process; with kFast the
+/// draws are Floyd-style and the stream is new. `config.dag`,
+/// `group_sizes`, and `params` must already be validated (the engine's
+/// entry point does this).
+[[nodiscard]] FrozenTables build_frozen_tables(const FrozenSimConfig& config,
+                                               util::Rng& rng);
 
 struct FrozenGroupResult {
   std::size_t size = 0;              ///< S_Ti
@@ -103,6 +183,16 @@ struct FrozenRunResult {
   std::vector<FrozenGroupResult> groups;  ///< indexed by DagTopicId::value
   std::size_t rounds = 0;                 ///< rounds until quiescence
   std::uint64_t total_messages = 0;
+
+  /// Wall time split: membership-table construction vs everything after it
+  /// (publisher pick + dissemination waves + accounting). At giant S the
+  /// two differ by orders of magnitude, so benches report them separately.
+  double table_build_seconds = 0.0;
+  double dissemination_seconds = 0.0;
+
+  /// Contiguous bytes held by the membership arenas (O(S·k), the paper's
+  /// per-process-logarithmic state summed over the system).
+  std::size_t table_bytes = 0;
 
   [[nodiscard]] bool all_groups_delivered() const {
     for (const auto& group : groups) {

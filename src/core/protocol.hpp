@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -52,16 +53,27 @@ namespace dam::core::protocol {
 /// `fn(entry)` for every selected target in table order. An empty table
 /// skips the election entirely (root processes send nothing upward).
 /// RNG draws: one psel coin when the table is non-empty, then one pa coin
-/// per entry when elected.
+/// per entry when elected. Takes a span so engines can iterate rows of a
+/// flat CSR arena without materializing per-process vectors.
 template <typename Entry, typename Fn>
 void for_each_intergroup_target(const TopicParams& params,
                                 std::size_t group_size,
-                                const std::vector<Entry>& super_table,
+                                std::span<const Entry> super_table,
                                 util::Rng& rng, Fn&& fn) {
   if (super_table.empty() || !elects_self(params, group_size, rng)) return;
   for (const Entry& entry : super_table) {
     if (forwards_to_entry(params, rng)) fn(entry);
   }
+}
+
+template <typename Entry, typename Fn>
+void for_each_intergroup_target(const TopicParams& params,
+                                std::size_t group_size,
+                                const std::vector<Entry>& super_table,
+                                util::Rng& rng, Fn&& fn) {
+  for_each_intergroup_target(params, group_size,
+                             std::span<const Entry>(super_table), rng,
+                             std::forward<Fn>(fn));
 }
 
 /// The intra-group gossip leg (Fig. 7 lines 8–14): fanout(S) = ceil(ln S
@@ -72,6 +84,16 @@ template <typename Entry>
     const TopicParams& params, std::size_t group_size,
     const std::vector<Entry>& topic_table, util::Rng& rng) {
   return rng.sample(topic_table, params.fanout(group_size));
+}
+
+/// `fanout_targets` into a caller-reused buffer — the wave-loop form: zero
+/// allocation per sender once `out` has warmed up, identical RNG stream and
+/// result sequence as the returning overload.
+template <typename Entry>
+void fanout_targets_into(const TopicParams& params, std::size_t group_size,
+                         std::span<const Entry> topic_table, util::Rng& rng,
+                         std::vector<Entry>& out) {
+  rng.sample_into(topic_table, params.fanout(group_size), out);
 }
 
 /// Forward-on-first-reception policy (Fig. 5 lines 5–10): an event is

@@ -33,6 +33,7 @@ DamSystem::~DamSystem() = default;
 
 ProcessId DamSystem::spawn(TopicId topic) {
   const ProcessId id = registry_.add_process(topic);
+  super_cache_.clear();  // a group may have just turned non-empty
   // Grow the bootstrap overlay to cover the new process.
   while (neighborhood_.process_count() < registry_.process_count()) {
     neighborhood_.add_process(config_.neighborhood_degree, rng_);
@@ -73,7 +74,57 @@ std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
                                               std::size_t count) {
   std::vector<ProcessId> ids;
   ids.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) ids.push_back(spawn(topic));
+  if (count == 0) return ids;
+
+  // Batch wiring. Consumes the RNG stream exactly like `count` calls to
+  // spawn() — each joiner still samples its contacts from the members
+  // present at its own join — but the two O(S)-per-member costs are gone:
+  // the peers vector is one incrementally-grown candidate buffer that
+  // sample_with_undo borrows and restores (the joiner itself is always the
+  // group vector's last element, so "everyone but me" is just the buffer),
+  // and the group-size-estimate refresh runs once per batch instead of once
+  // per member (intermediate estimates are dead state: no round runs while
+  // the batch is spawning). Spawning S members costs O(S·view), not O(S²).
+  std::vector<ProcessId> candidates(registry_.group(topic));
+  // The supergroup cannot change while this batch only grows `topic`.
+  std::optional<TopicId> super_topic;
+  if (config_.auto_wire_super_tables) {
+    super_topic = registry_.nearest_nonempty_supergroup(topic);
+  }
+
+  std::vector<ProcessId> contacts;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ProcessId id = registry_.add_process(topic);
+    ids.push_back(id);
+    while (neighborhood_.process_count() < registry_.process_count()) {
+      neighborhood_.add_process(config_.neighborhood_degree, rng_);
+    }
+    const std::size_t group_size = registry_.group_size(topic);
+    auto node = std::make_unique<DamNode>(id, topic, hierarchy_, config_.node,
+                                          group_size, rng_.fork(id.value),
+                                          this);
+    const std::size_t view = config_.node.params.view_capacity(group_size);
+    contacts.resize(std::min(view, candidates.size()));
+    const std::size_t drawn = rng_.sample_with_undo(
+        std::span<ProcessId>(candidates), view, contacts.data());
+    contacts.resize(drawn);
+
+    std::vector<ProcessId> super_contacts;
+    if (super_topic) {
+      super_contacts =
+          rng_.sample(registry_.group(*super_topic), config_.node.params.z);
+    }
+    nodes_.push_back(std::move(node));
+    nodes_.back()->subscribe(contacts, super_contacts, super_topic);
+    candidates.push_back(id);  // visible to the next joiner
+  }
+  super_cache_.clear();
+
+  // One estimate refresh for every member, once per batch.
+  const std::size_t group_size = registry_.group_size(topic);
+  for (const ProcessId member : registry_.group(topic)) {
+    nodes_[member.value]->update_group_size_estimate(group_size);
+  }
   return ids;
 }
 
@@ -130,7 +181,7 @@ void DamSystem::send(Message&& msg) {
   if (msg.kind == MsgKind::kEvent) {
     if (msg.intergroup) {
       ++counters.inter_sent;
-      if (auto super = registry_.nearest_nonempty_supergroup(sender_topic)) {
+      if (auto super = cached_nearest_super(sender_topic)) {
         ++metrics_.group(*super).inter_received;  // boundary accounting
       }
     } else {
@@ -154,6 +205,14 @@ void DamSystem::send(Message&& msg) {
     trace_->record(entry);
   }
   transport_.send(std::move(msg), clock_.now());
+}
+
+std::optional<TopicId> DamSystem::cached_nearest_super(TopicId topic) const {
+  const auto it = super_cache_.find(topic);
+  if (it != super_cache_.end()) return it->second;
+  const auto super = registry_.nearest_nonempty_supergroup(topic);
+  super_cache_.emplace(topic, super);
+  return super;
 }
 
 const std::vector<ProcessId>& DamSystem::neighborhood(ProcessId self) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -47,7 +48,14 @@ class DamSystem final : public Env {
   /// are filled only when `auto_wire_super_tables` is set.
   ProcessId spawn(TopicId topic);
 
-  /// Spawns `count` processes on `topic`.
+  /// Spawns `count` processes on `topic` through the batch wiring path:
+  /// the supergroup lookup, the join-contact candidate set, and the
+  /// group-size-estimate refresh happen once per batch instead of once per
+  /// member, so building a group of S costs O(S·view) rather than the
+  /// O(S²) the one-at-a-time loop used to pay. Behavior- and RNG-stream-
+  /// identical to `count` calls to spawn(): each joiner samples its
+  /// contacts from the members present at its own join, never from later
+  /// batch members.
   std::vector<ProcessId> spawn_group(TopicId topic, std::size_t count);
 
   /// Installs a failure model (defaults to NoFailures). The system keeps
@@ -143,6 +151,13 @@ class DamSystem final : public Env {
   std::unordered_map<net::EventId, std::unordered_set<ProcessId>> deliveries_;
   std::unordered_map<net::EventId, Publication> publications_;
   static const std::unordered_set<ProcessId> kNoDeliveries;
+
+  /// Memoized registry_.nearest_nonempty_supergroup, consulted by send()'s
+  /// per-message boundary accounting. Spawning can turn an empty supergroup
+  /// non-empty, so every spawn clears the cache.
+  [[nodiscard]] std::optional<TopicId> cached_nearest_super(
+      TopicId topic) const;
+  mutable std::unordered_map<TopicId, std::optional<TopicId>> super_cache_;
 };
 
 }  // namespace dam::core

@@ -8,8 +8,9 @@ namespace dam::exp {
 
 namespace {
 
-const char* const kKnownKeys[] = {"a",     "b",     "c",    "g",    "psucc",
-                                  "tau",   "z",     "alive", "scale", "runs"};
+const char* const kKnownKeys[] = {"a",     "b",     "c",     "g",
+                                  "psucc", "tau",   "z",     "alive",
+                                  "scale", "depth", "runs"};
 
 bool known_key(std::string_view key) {
   for (const char* candidate : kKnownKeys) {
@@ -129,7 +130,15 @@ std::vector<GridPoint> expand_grid(const std::vector<GridAxis>& axes) {
     }
   }
   std::vector<GridPoint> points{GridPoint{}};
+  std::size_t total = 1;
   for (const GridAxis& axis : axes) {
+    // The per-axis cap alone still lets a two-axis product reach 1e8
+    // points and OOM before anything useful runs; fail fast instead.
+    total *= axis.values.size();
+    if (total > 100000) {
+      throw std::invalid_argument(
+          "expand_grid: more than 100000 grid cells");
+    }
     std::vector<GridPoint> next;
     next.reserve(points.size() * axis.values.size());
     for (const GridPoint& prefix : points) {
@@ -161,8 +170,37 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
             std::llround(static_cast<double>(size) * value);
         size = static_cast<std::size_t>(std::max(1LL, scaled));
       }
+    } else if (key == "depth") {
+      if (value < 1.0 || value > 64.0) {
+        throw std::invalid_argument("grid: depth must be in [1, 64]");
+      }
+      const std::size_t depth =
+          static_cast<std::size_t>(std::llround(value));
+      // Rebuild the topology as a linear hierarchy rooted at a small top
+      // group: keep the bottom (publish) group size, shrink 10x per level
+      // going up, floored at 10 subscribers (or at the bottom size itself
+      // when that is already smaller). Replaces any existing DAG shape.
+      const std::size_t bottom =
+          scenario.group_sizes.empty() ? 1 : scenario.group_sizes.back();
+      std::vector<std::size_t> sizes(depth);
+      std::size_t size = bottom;
+      for (std::size_t level = depth; level-- > 0;) {
+        sizes[level] = size;
+        size = std::max<std::size_t>(std::min<std::size_t>(10, size),
+                                     size / 10);
+      }
+      sim::Scenario rebuilt = sim::make_linear_scenario(
+          scenario.name, scenario.summary, std::move(sizes));
+      scenario.topic_names = std::move(rebuilt.topic_names);
+      scenario.super_edges = std::move(rebuilt.super_edges);
+      scenario.group_sizes = std::move(rebuilt.group_sizes);
+      scenario.publish_topic = rebuilt.publish_topic;
     } else if (key == "runs") {
-      if (value < 1.0) throw std::invalid_argument("grid: runs must be >= 1");
+      // Bounded on both sides: a huge value would wrap the int cast and
+      // silently run ~1.4e9 sweeps instead of erroring.
+      if (value < 1.0 || value > 1e9) {
+        throw std::invalid_argument("grid: runs must be in [1, 1e9]");
+      }
       scenario.runs = static_cast<int>(std::llround(value));
     } else {
       for (core::TopicParams& params : scenario.params) {
@@ -182,8 +220,16 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
         } else if (key == "psucc") {
           params.psucc = value;
         } else if (key == "tau") {
+          // Negative values would wrap the size_t cast to ~1.8e19 and
+          // sail through validate(); bound both integral knobs first.
+          if (value < 0.0 || value > 1e9) {
+            throw std::invalid_argument("grid: tau must be in [0, 1e9]");
+          }
           params.tau = static_cast<std::size_t>(std::llround(value));
         } else if (key == "z") {
+          if (value < 0.0 || value > 1e9) {
+            throw std::invalid_argument("grid: z must be in [0, 1e9]");
+          }
           params.z = static_cast<std::size_t>(std::llround(value));
         } else {
           throw std::invalid_argument("grid: unknown key '" + key + "'");

@@ -19,8 +19,18 @@
 //                               1 <= a <= z domain;
 //   alive                     — replaces the alive sweep with this single
 //                               fraction;
-//   scale                     — multiplies every group size (min 1);
+//   scale                     — multiplies every group size (min 1); the
+//                               giant presets reach S=1e6 via
+//                               "--scenario=giant-flat --grid scale=10";
+//   depth                     — replaces the topology with a linear
+//                               hierarchy of this many levels, keeping the
+//                               current bottom (publish) group size and
+//                               shrinking 10x per level up (floor 10) —
+//                               the topology-shape axis;
 //   runs                      — runs per sweep point.
+//
+// Axes apply in declaration order, so "depth=4 scale=10" builds the chain
+// first and then scales it.
 #pragma once
 
 #include <string>

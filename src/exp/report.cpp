@@ -153,6 +153,11 @@ void BenchReport::write(std::ostream& out) const {
     }
     out << "},\"jobs\":" << sweep.jobs
         << ",\"wall_seconds\":" << json_number(wall)
+        << ",\"table_build_seconds\":"
+        << json_number(sweep.table_build_seconds)
+        << ",\"dissemination_seconds\":"
+        << json_number(sweep.dissemination_seconds)
+        << ",\"peak_table_bytes\":" << sweep.peak_table_bytes
         << ",\"runs\":" << sweep.total_runs
         << ",\"runs_per_sec\":" << json_number(runs_per_sec)
         << ",\"events\":" << sweep.total_events

@@ -7,10 +7,12 @@
 //   * csv_report_header / csv_report_rows — long-format CSV (one row per
 //     (sweep, point, group)) for plotting across scenarios and grid cells;
 //   * BenchReport — machine-readable JSON ("damlab-bench-v1") recording
-//     wall time, runs/sec, events/sec, and the per-point aggregates of
-//     every sweep in the invocation. damlab writes it to BENCH_sweep.json;
-//     the schema is documented in README "Running experiments" and pinned
-//     by tests/exp/report_test.cpp.
+//     wall time, runs/sec, events/sec, the table-build vs dissemination
+//     engine-time split, peak membership-arena bytes, and the per-point
+//     aggregates of every sweep in the invocation. damlab writes it to
+//     BENCH_sweep.json; the schema is documented in README "Running
+//     experiments" and pinned by tests/exp/report_test.cpp. tools/bench_diff
+//     compares two documents and gates on throughput regressions.
 #pragma once
 
 #include <iosfwd>

@@ -104,6 +104,9 @@ SweepResult run_sweep(const sim::Scenario& scenario,
     ScenarioPoint partial;
     std::uint64_t events = 0;
     std::uint64_t runs = 0;
+    double table_build_seconds = 0.0;
+    double dissemination_seconds = 0.0;
+    std::size_t peak_table_bytes = 0;
   };
   std::vector<Shard> shards(scenario.alive_sweep.size() * shard_count);
 
@@ -125,6 +128,10 @@ SweepResult run_sweep(const sim::Scenario& scenario,
           accumulate_run(shard.partial, result);
           shard.events += result.total_messages;
           ++shard.runs;
+          shard.table_build_seconds += result.table_build_seconds;
+          shard.dissemination_seconds += result.dissemination_seconds;
+          shard.peak_table_bytes =
+              std::max(shard.peak_table_bytes, result.table_bytes);
         }
       });
     }
@@ -145,6 +152,10 @@ SweepResult run_sweep(const sim::Scenario& scenario,
       merge_point(point, shard.partial);
       result.total_events += shard.events;
       result.total_runs += shard.runs;
+      result.table_build_seconds += shard.table_build_seconds;
+      result.dissemination_seconds += shard.dissemination_seconds;
+      result.peak_table_bytes =
+          std::max(result.peak_table_bytes, shard.peak_table_bytes);
     }
     result.points.push_back(std::move(point));
   }

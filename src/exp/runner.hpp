@@ -52,6 +52,16 @@ struct SweepResult {
   std::uint64_t total_runs = 0;    ///< engine runs executed
   std::uint64_t total_events = 0;  ///< messages sent across all runs
   unsigned jobs = 1;               ///< resolved worker count
+
+  /// Per-run engine time summed across all runs (CPU-seconds, not wall:
+  /// runs overlap across workers), split into membership-table
+  /// construction vs dissemination — the split that shows where giant
+  /// groups spend their time.
+  double table_build_seconds = 0.0;
+  double dissemination_seconds = 0.0;
+
+  /// Largest contiguous membership-arena footprint of any single run.
+  std::size_t peak_table_bytes = 0;
 };
 
 /// Resolves RunnerOptions::jobs (0 -> hardware concurrency, min 1).

@@ -38,6 +38,7 @@ core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
   config.publish_topic = topics::DagTopicId{publish_topic};
   config.seed = base_seed + static_cast<std::uint64_t>(run) * 7919 +
                 static_cast<std::uint64_t>(std::lround(alive_fraction * 1000.0));
+  config.table_build = table_build;
   return config;
 }
 
@@ -180,6 +181,31 @@ std::vector<Scenario> build_registry() {
     s.base_seed = 0xC43;
     presets.push_back(std::move(s));
   }
+  // --- Giant groups (the million-user north star). ------------------------
+  // One engine run dominates these; runs are few and the interest is the
+  // table-build vs dissemination wall split in the bench JSON. Scale the
+  // sizes with the `scale` grid knob (e.g. --grid "scale=10" for S=1e6) and
+  // the hierarchy depth with `depth`.
+  {
+    Scenario s = make_linear_scenario(
+        "giant-flat", "One group of 100k subscribers (scale=10 for 1M)",
+        {100000});
+    s.table_build = core::TableBuild::kFast;
+    s.runs = 3;
+    s.base_seed = 0x61A;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "giant-deep",
+        "Eight-level hierarchy, 10 to 100k per level (scale=10 for 1M)",
+        {10, 30, 100, 300, 1000, 3000, 10000, 100000});
+    s.table_build = core::TableBuild::kFast;
+    s.runs = 3;
+    s.base_seed = 0x61D;
+    presets.push_back(std::move(s));
+  }
+
   {
     Scenario s = make_linear_scenario(
         "ablation-lean",

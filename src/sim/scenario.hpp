@@ -52,6 +52,11 @@ struct Scenario {
   /// Outage schedule knobs; engaged iff failure_mode == kChurn.
   core::FrozenChurnConfig churn;
 
+  /// Membership-table sampling mode. kLegacy (default) keeps the historical
+  /// RNG stream bit-for-bit; the giant presets use kFast (new stream,
+  /// statistically equivalent, fastest at S >= 1e5).
+  core::TableBuild table_build = core::TableBuild::kLegacy;
+
   /// X axis: alive fractions to sweep (a single point is a sweep of one).
   std::vector<double> alive_sweep{1.0};
 

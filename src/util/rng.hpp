@@ -7,6 +7,7 @@
 // keeps results stable when components are added or reordered.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <random>
@@ -133,12 +134,100 @@ class Rng {
     return sample(std::span<const T>(pool.data(), pool.size()), k);
   }
 
+  /// `sample` into a reusable buffer: `out` is cleared and refilled with the
+  /// drawn elements, so steady-state callers never touch the allocator.
+  /// Consumes the stream exactly like `sample(pool, k)` and leaves `pool`
+  /// untouched (the partial Fisher–Yates runs on `out` itself).
+  template <typename T>
+  void sample_into(std::span<const T> pool, std::size_t k,
+                   std::vector<T>& out) {
+    out.assign(pool.begin(), pool.end());
+    if (k >= out.size()) {
+      shuffle(out);
+      return;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      using std::swap;
+      swap(out[i], out[i + below(out.size() - i)]);
+    }
+    out.resize(k);
+  }
+
+  /// `sample` directly on a caller-owned candidate buffer: runs the partial
+  /// Fisher–Yates on `pool` itself, copies the drawn prefix into `out`, then
+  /// UNDOES the swaps so `pool` is bit-identical to what the caller passed
+  /// in. This turns the legacy "copy an (n-1)-element pool per call" pattern
+  /// into O(k) per call with zero allocation: the caller keeps one buffer
+  /// alive and this routine borrows it. Stream- and result-compatible with
+  /// `sample(pool, k)`. Returns the number of elements written (min(k, n)).
+  template <typename T>
+  std::size_t sample_with_undo(std::span<T> pool, std::size_t k, T* out) {
+    using std::swap;
+    const std::size_t n = pool.size();
+    undo_log_.clear();
+    if (k >= n) {
+      // Legacy path: a full shuffle of the whole pool.
+      for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = below(i);
+        swap(pool[i - 1], pool[j]);
+        undo_log_.push_back({i - 1, j});
+      }
+      for (std::size_t i = 0; i < n; ++i) out[i] = pool[i];
+      for (std::size_t i = undo_log_.size(); i-- > 0;) {
+        swap(pool[undo_log_[i].first], pool[undo_log_[i].second]);
+      }
+      return n;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + below(n - i);
+      swap(pool[i], pool[j]);
+      undo_log_.push_back({i, j});
+    }
+    for (std::size_t i = 0; i < k; ++i) out[i] = pool[i];
+    for (std::size_t i = k; i-- > 0;) {
+      swap(pool[undo_log_[i].first], pool[undo_log_[i].second]);
+    }
+    return k;
+  }
+
+  /// Floyd-style distinct-index draw: writes min(k, n) distinct values
+  /// uniform over [0, n) into `out`, with no candidate buffer at all —
+  /// O(k) time, O(k²) worst-case dedup scans (k is O(log S) everywhere the
+  /// engine uses this, so the scan beats a hash set). NOT stream-compatible
+  /// with `sample`; this is the TableBuild::kFast primitive. Returns the
+  /// number written. Precondition: n fits the uint32 outputs (asserted) —
+  /// larger n would truncate draws mod 2^32 and defeat the dedup scan.
+  std::size_t draw_distinct_below(std::uint64_t n, std::size_t k,
+                                  std::uint32_t* out) noexcept {
+    assert(n <= std::uint64_t{1} << 32);
+    if (k >= n) {
+      for (std::uint64_t v = 0; v < n; ++v) out[v] = static_cast<std::uint32_t>(v);
+      return static_cast<std::size_t>(n);
+    }
+    std::size_t written = 0;
+    for (std::uint64_t j = n - k; j < n; ++j) {
+      std::uint64_t t = below(j + 1);
+      for (std::size_t i = 0; i < written; ++i) {
+        if (out[i] == t) {
+          t = j;  // Floyd: already drawn -> take the new top index
+          break;
+        }
+      }
+      out[written++] = static_cast<std::uint32_t>(t);
+    }
+    return written;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
 
   std::uint64_t state_[4]{};
+  // Swap journal for sample_with_undo; a member so steady-state sampling
+  // stays allocation-free. Never part of the stream state: copies/forks of
+  // an Rng produce identical output regardless of this buffer.
+  std::vector<std::pair<std::size_t, std::size_t>> undo_log_;
 };
 
 }  // namespace dam::util

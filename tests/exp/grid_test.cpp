@@ -122,6 +122,35 @@ TEST(GridApply, RaisingAAboveZGrowsTheTable) {
   EXPECT_EQ(other.params[0].z, 8u);
 }
 
+TEST(GridApply, DepthRebuildsALinearHierarchy) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 100, 1000});
+  apply_grid_point(scenario, {{"depth", 5.0}});
+  // Bottom (publish) size kept, 10x shrink per level up, floored at 10.
+  EXPECT_EQ(scenario.group_sizes,
+            (std::vector<std::size_t>{10, 10, 10, 100, 1000}));
+  EXPECT_EQ(scenario.topic_names.size(), 5u);
+  EXPECT_EQ(scenario.publish_topic, 4u);
+  ASSERT_EQ(scenario.super_edges.size(), 4u);
+  for (std::uint32_t level = 1; level < 5; ++level) {
+    EXPECT_EQ(scenario.super_edges[level - 1],
+              (std::pair<std::uint32_t, std::uint32_t>{level, level - 1}));
+  }
+  // depth=1 collapses to a single (root) group.
+  apply_grid_point(scenario, {{"depth", 1.0}});
+  EXPECT_EQ(scenario.group_sizes, (std::vector<std::size_t>{1000}));
+  EXPECT_TRUE(scenario.super_edges.empty());
+  EXPECT_EQ(scenario.publish_topic, 0u);
+}
+
+TEST(GridApply, DepthComposesWithScaleInDeclarationOrder) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 1000});
+  apply_grid_point(scenario, {{"depth", 3.0}, {"scale", 10.0}});
+  EXPECT_EQ(scenario.group_sizes,
+            (std::vector<std::size_t>{100, 1000, 10000}));
+}
+
 TEST(GridApply, RejectsOutOfDomainValues) {
   sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
   EXPECT_THROW(apply_grid_point(scenario, {{"alive", 1.5}}),
@@ -130,9 +159,24 @@ TEST(GridApply, RejectsOutOfDomainValues) {
                std::invalid_argument);
   EXPECT_THROW(apply_grid_point(scenario, {{"runs", 0.0}}),
                std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"depth", 0.0}}),
+               std::invalid_argument);
+  // Values that would wrap the narrowing casts must error, not truncate.
+  EXPECT_THROW(apply_grid_point(scenario, {{"runs", 1e10}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"z", -5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"tau", -1.0}}),
+               std::invalid_argument);
   // TopicParams::validate rejects a g of zero.
   EXPECT_THROW(apply_grid_point(scenario, {{"g", 0.0}}),
                std::invalid_argument);
+}
+
+TEST(GridExpand, RejectsOversizedCartesianProducts) {
+  GridAxis big_a{"psucc", std::vector<double>(1000, 0.5)};
+  GridAxis big_b{"g", std::vector<double>(1000, 5.0)};
+  EXPECT_THROW(expand_grid({big_a, big_b}), std::invalid_argument);
 }
 
 }  // namespace

@@ -189,8 +189,9 @@ TEST(BenchReport, DocumentCarriesTheV1Schema) {
   // Per-sweep throughput block.
   for (const char* key :
        {"\"scenario\":", "\"grid\":", "\"jobs\":", "\"wall_seconds\":",
-        "\"runs\":", "\"runs_per_sec\":", "\"events\":",
-        "\"events_per_sec\":", "\"points\":"}) {
+        "\"table_build_seconds\":", "\"dissemination_seconds\":",
+        "\"peak_table_bytes\":", "\"runs\":", "\"runs_per_sec\":",
+        "\"events\":", "\"events_per_sec\":", "\"points\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // Per-point and per-group aggregates.

@@ -1,0 +1,79 @@
+// util/json: the minimal strict reader the bench tooling uses. Round-trips
+// a real BenchReport document and rejects the malformed inputs a truncated
+// or hand-edited bench file would produce.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace dam::util::json {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const Value doc = parse(
+      R"({"name":"x","n":-2.5e2,"flag":true,"none":null,"list":[1,2,3],)"
+      R"("nested":{"k":"v"}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("name"), "x");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", 0.0), -250.0);
+  ASSERT_NE(doc.find("flag"), nullptr);
+  EXPECT_TRUE(doc.find("flag")->boolean);
+  EXPECT_TRUE(doc.find("none")->is_null());
+  ASSERT_TRUE(doc.find("list")->is_array());
+  EXPECT_EQ(doc.find("list")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("list")->array[1].number, 2.0);
+  EXPECT_EQ(doc.find("nested")->string_or("k"), "v");
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("absent", 7.0), 7.0);
+}
+
+TEST(Json, DecodesEscapes) {
+  const Value doc = parse(R"(["a\"b\\c\n\t", "\u0041\u00e9"])");
+  ASSERT_TRUE(doc.is_array());
+  EXPECT_EQ(doc.array[0].string, "a\"b\\c\n\t");
+  EXPECT_EQ(doc.array[1].string, "A\xC3\xA9");  // é as UTF-8
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3",
+        "\"unterminated", "{\"a\":1}trailing", "[1,]", "{\"a\":1,}",
+        "\"bad\\q\"", "\"\\u12g4\""}) {
+    EXPECT_THROW((void)parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, ParsesARealBenchDocument) {
+  sim::Scenario scenario = sim::make_linear_scenario("tiny", "tiny", {5, 40});
+  scenario.alive_sweep = {1.0};
+  scenario.runs = 3;
+  exp::BenchReport report;
+  report.add("tiny", {{"a", 2.0}}, exp::run_sweep(scenario, {.jobs = 2}));
+  std::ostringstream out;
+  report.write(out);
+
+  const Value doc = parse(out.str());
+  EXPECT_EQ(doc.string_or("schema"), "damlab-bench-v1");
+  const Value* sweeps = doc.find("sweeps");
+  ASSERT_NE(sweeps, nullptr);
+  ASSERT_EQ(sweeps->array.size(), 1u);
+  const Value& sweep = sweeps->array[0];
+  EXPECT_EQ(sweep.string_or("scenario"), "tiny");
+  EXPECT_DOUBLE_EQ(sweep.number_or("runs", 0.0), 3.0);
+  EXPECT_GE(sweep.number_or("runs_per_sec", -1.0), 0.0);
+  EXPECT_GE(sweep.number_or("table_build_seconds", -1.0), 0.0);
+  EXPECT_GE(sweep.number_or("dissemination_seconds", -1.0), 0.0);
+  EXPECT_GT(sweep.number_or("peak_table_bytes", 0.0), 0.0);
+  ASSERT_NE(sweep.find("grid"), nullptr);
+  EXPECT_DOUBLE_EQ(sweep.find("grid")->number_or("a", 0.0), 2.0);
+  ASSERT_NE(sweep.find("points"), nullptr);
+  EXPECT_EQ(sweep.find("points")->array.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dam::util::json

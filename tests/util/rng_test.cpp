@@ -162,6 +162,76 @@ TEST(Rng, SampleIsUniformOverElements) {
   }
 }
 
+TEST(Rng, SampleIntoMatchesSampleExactly) {
+  // Same seed, same pool, same k: the reusable-buffer form must consume
+  // the stream and produce results identically to the allocating form —
+  // including the k >= pool shuffle path.
+  std::vector<int> pool(50);
+  for (int i = 0; i < 50; ++i) pool[i] = i * 3;
+  for (const std::size_t k : {0UL, 1UL, 7UL, 49UL, 50UL, 80UL}) {
+    Rng a(91);
+    Rng b(91);
+    std::vector<int> reused{-1, -2, -3};  // stale content must not leak
+    const auto expected = a.sample(pool, k);
+    b.sample_into(std::span<const int>(pool.data(), pool.size()), k, reused);
+    EXPECT_EQ(reused, expected) << "k=" << k;
+    EXPECT_EQ(a(), b()) << "stream diverged at k=" << k;
+  }
+}
+
+TEST(Rng, SampleWithUndoMatchesSampleAndRestoresPool) {
+  std::vector<std::uint32_t> pool(100);
+  for (std::uint32_t i = 0; i < 100; ++i) pool[i] = i + 1000;
+  const std::vector<std::uint32_t> original = pool;
+  for (const std::size_t k : {1UL, 12UL, 99UL, 100UL, 250UL}) {
+    Rng a(77);
+    Rng b(77);
+    const auto expected = a.sample(pool, k);
+    std::vector<std::uint32_t> out(expected.size());
+    const std::size_t written = b.sample_with_undo(
+        std::span<std::uint32_t>(pool.data(), pool.size()), k, out.data());
+    EXPECT_EQ(written, expected.size()) << "k=" << k;
+    EXPECT_EQ(out, expected) << "k=" << k;
+    EXPECT_EQ(pool, original) << "pool not restored at k=" << k;
+    EXPECT_EQ(a(), b()) << "stream diverged at k=" << k;
+  }
+}
+
+TEST(Rng, DrawDistinctBelowIsDistinctAndInRange) {
+  Rng rng(83);
+  std::vector<std::uint32_t> out(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t written = rng.draw_distinct_below(40, 16, out.data());
+    ASSERT_EQ(written, 16u);
+    std::set<std::uint32_t> unique(out.begin(), out.begin() + written);
+    EXPECT_EQ(unique.size(), written);
+    for (std::size_t i = 0; i < written; ++i) EXPECT_LT(out[i], 40u);
+  }
+  // k >= n returns all of [0, n) with no draws consumed.
+  Rng before(5);
+  Rng after(5);
+  std::vector<std::uint32_t> all(10);
+  EXPECT_EQ(after.draw_distinct_below(7, 10, all.data()), 7u);
+  for (std::uint32_t v = 0; v < 7; ++v) EXPECT_EQ(all[v], v);
+  EXPECT_EQ(before(), after());
+}
+
+TEST(Rng, DrawDistinctBelowIsApproximatelyUniform) {
+  // Every element of [0, 10) should land in a 3-draw with p = 0.3.
+  Rng rng(97);
+  std::map<std::uint32_t, int> appearances;
+  std::vector<std::uint32_t> out(3);
+  constexpr int kTrials = 30000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::size_t written = rng.draw_distinct_below(10, 3, out.data());
+    for (std::size_t i = 0; i < written; ++i) ++appearances[out[i]];
+  }
+  for (const auto& [value, count] : appearances) {
+    EXPECT_NEAR(static_cast<double>(count) / kTrials, 0.3, 0.02)
+        << "element " << value;
+  }
+}
+
 TEST(Rng, ForkIsIndependentOfParentFuture) {
   Rng parent(55);
   Rng child_before = parent.fork(1);

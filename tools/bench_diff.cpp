@@ -1,0 +1,173 @@
+// bench_diff — the throughput regression gate over damlab bench documents.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold=0.20] [--quiet]
+//
+// Matches the sweeps of two "damlab-bench-v1" documents by (scenario, grid
+// cell) and compares runs/sec and events/sec. Exits 1 when any matched
+// sweep regressed by more than the threshold (default 20% — the CI gate),
+// 2 on usage/parse errors, 0 otherwise. Sweeps present on only one side
+// are reported but never fail the gate (presets come and go); timing
+// fields other than the two throughput rates are ignored, so documents
+// from different schema minor revisions still diff.
+//
+// The CI bench-smoke job runs this against the committed
+// bench/BENCH_baseline.json with a loose threshold (hosted runners differ
+// from the baseline machine); locally, regenerate the baseline with the
+// damlab invocation recorded in that CI job and diff at the default 20%.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+struct SweepKey {
+  std::string scenario;
+  std::string grid;  // canonical "k=v k=v" label in document order
+
+  bool operator==(const SweepKey&) const = default;
+};
+
+struct SweepRates {
+  SweepKey key;
+  double runs_per_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+std::string grid_label_of(const dam::util::json::Value& sweep) {
+  std::string label;
+  if (const auto* grid = sweep.find("grid"); grid != nullptr) {
+    for (const auto& [key, value] : grid->object) {
+      if (!label.empty()) label += ' ';
+      label += key + "=" + std::to_string(value.number);
+    }
+  }
+  return label;
+}
+
+std::vector<SweepRates> load_rates(const std::string& path) {
+  const dam::util::json::Value doc = dam::util::json::parse_file(path);
+  if (doc.string_or("schema") != "damlab-bench-v1") {
+    throw std::runtime_error(path + ": not a damlab-bench-v1 document");
+  }
+  const auto* sweeps = doc.find("sweeps");
+  if (sweeps == nullptr || !sweeps->is_array()) {
+    throw std::runtime_error(path + ": no sweeps array");
+  }
+  std::vector<SweepRates> rates;
+  rates.reserve(sweeps->array.size());
+  for (const auto& sweep : sweeps->array) {
+    SweepRates entry;
+    entry.key.scenario = sweep.string_or("scenario");
+    entry.key.grid = grid_label_of(sweep);
+    entry.runs_per_sec = sweep.number_or("runs_per_sec", 0.0);
+    entry.events_per_sec = sweep.number_or("events_per_sec", 0.0);
+    rates.push_back(std::move(entry));
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dam;
+  util::ArgParser args(
+      "bench_diff — compare two damlab-bench-v1 documents and fail on "
+      "throughput regressions (args: BASELINE.json CURRENT.json)");
+  args.add_option("threshold", "0.20",
+                  "maximum tolerated fractional slowdown per sweep");
+  args.add_flag("quiet", "only print regressions");
+
+  try {
+    args.parse(argc, argv);
+  } catch (const util::ArgError& error) {
+    std::cerr << "bench_diff: " << error.what() << "\n\n" << args.help_text();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help_text();
+    return 0;
+  }
+  if (args.positional().size() != 2) {
+    std::cerr << "bench_diff: need exactly two documents "
+                 "(BASELINE.json CURRENT.json)\n";
+    return 2;
+  }
+  const double threshold = args.real("threshold");
+  if (threshold <= 0.0) {
+    std::cerr << "bench_diff: --threshold must be positive\n";
+    return 2;
+  }
+
+  try {
+    const auto baseline = load_rates(args.positional()[0]);
+    const auto current = load_rates(args.positional()[1]);
+
+    std::size_t matched = 0;
+    std::size_t regressions = 0;
+    for (const SweepRates& base : baseline) {
+      const auto it =
+          std::find_if(current.begin(), current.end(),
+                       [&](const SweepRates& c) { return c.key == base.key; });
+      if (it == current.end()) {
+        if (!args.flag("quiet")) {
+          std::cout << "only in baseline: " << base.key.scenario;
+          if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+          std::cout << "\n";
+        }
+        continue;
+      }
+      ++matched;
+      const auto check = [&](const char* metric, double before,
+                             double after) {
+        // A zero baseline rate (degenerate timing) can only be noise —
+        // nothing meaningful to gate on.
+        if (before <= 0.0) return;
+        const double ratio = after / before;
+        const bool regressed = ratio < 1.0 - threshold;
+        if (regressed) ++regressions;
+        if (regressed || !args.flag("quiet")) {
+          std::cout << (regressed ? "REGRESSION " : "ok         ")
+                    << base.key.scenario;
+          if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+          std::cout << " " << metric << ": " << util::fixed(before, 1)
+                    << " -> " << util::fixed(after, 1) << " ("
+                    << util::fixed(ratio * 100.0, 1) << "%)\n";
+        }
+      };
+      check("runs/sec", base.runs_per_sec, it->runs_per_sec);
+      check("events/sec", base.events_per_sec, it->events_per_sec);
+    }
+    for (const SweepRates& cur : current) {
+      const bool known = std::any_of(
+          baseline.begin(), baseline.end(),
+          [&](const SweepRates& b) { return b.key == cur.key; });
+      if (!known && !args.flag("quiet")) {
+        std::cout << "only in current: " << cur.key.scenario;
+        if (!cur.key.grid.empty()) std::cout << " [" << cur.key.grid << "]";
+        std::cout << "\n";
+      }
+    }
+
+    if (matched == 0) {
+      std::cerr << "bench_diff: no sweeps in common — nothing gated\n";
+      return 2;
+    }
+    if (regressions > 0) {
+      std::cerr << "bench_diff: " << regressions
+                << " metric(s) regressed beyond "
+                << util::fixed(threshold * 100.0, 0) << "%\n";
+      return 1;
+    }
+    std::cout << matched << " sweep(s) compared, none regressed beyond "
+              << util::fixed(threshold * 100.0, 0) << "%\n";
+  } catch (const std::exception& error) {
+    std::cerr << "bench_diff: " << error.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -8,7 +8,7 @@
 //   damlab --list-scenarios
 //   damlab --scenario=fig9 --jobs=8
 //   damlab --scenario=fig9 --jobs=8 --grid a=1:4 --json=BENCH_sweep.json
-//   damlab --scenario=fig9,fig10 --grid "g=5,10 psucc=0.5:0.9:0.2" \
+//   damlab --scenario=fig9,fig10 --grid "g=5,10 psucc=0.5:0.9:0.2"
 //          --csv=sweep.csv --runs=50
 //   damlab --scenario=all --runs=10 --json=BENCH_sweep.json
 //
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   args.add_option("jobs", "0", "worker threads (0 = hardware concurrency)");
   args.add_option("grid", "",
                   "parameter grid, e.g. \"a=1:4 g=5,10 psucc=0.5:0.9:0.2\" "
-                  "(keys: a b c g psucc tau z alive scale runs)");
+                  "(keys: a b c g psucc tau z alive scale depth runs)");
   args.add_option("runs", "0", "override runs per sweep point (0 = preset)");
   args.add_option("shards", "32",
                   "shards per sweep point (fixed reduction shape; advanced)");
@@ -142,7 +142,12 @@ int main(int argc, char** argv) {
                                              sweep.wall_seconds
                                        : 0.0,
                                    0)
-                    << " runs/s, jobs=" << sweep.jobs << ")\n";
+                    << " runs/s, jobs=" << sweep.jobs << "; engine time "
+                    << util::fixed(sweep.table_build_seconds, 2)
+                    << "s tables + "
+                    << util::fixed(sweep.dissemination_seconds, 2)
+                    << "s dissemination, peak tables "
+                    << sweep.peak_table_bytes / 1024 << " KiB)\n";
         }
         if (csv) exp::csv_report_rows(*csv, scenario.name, cell, sweep);
         report.add(scenario.name, cell, sweep);
