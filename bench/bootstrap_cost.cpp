@@ -4,67 +4,17 @@
 // and measures how much control traffic and how many rounds it takes until
 // the hierarchy is linked (every non-root process holding a supertopic
 // table for its direct supertopic), as hierarchy depth and population vary.
+//
+// Thin wrapper over the experiment lab's dynamic lane: each (depth,
+// per-level) cell is a Scenario with EngineKind::kDynamic, an empty traffic
+// stream, and auto_wire_super_tables off; workload/driver measures the
+// bootstrap-link trio per run and exp::run_sweep aggregates it across the
+// thread pool.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/system.hpp"
-#include "topics/hierarchy.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
-
-namespace {
-
-struct BootstrapOutcome {
-  double rounds_to_link;      ///< rounds until >=95% of non-root nodes linked
-  double control_messages;    ///< control messages sent up to that point
-  double linked_fraction;     ///< final fraction linked (after the horizon)
-};
-
-BootstrapOutcome measure(std::size_t depth, std::size_t per_level,
-                         std::uint64_t seed) {
-  using namespace dam;
-  topics::TopicHierarchy hierarchy;
-  const auto levels = topics::make_linear_hierarchy(hierarchy, depth);
-  core::DamSystem::Config config;
-  config.seed = seed;
-  config.neighborhood_degree = 5;
-  core::DamSystem system(hierarchy, config);
-  std::vector<topics::ProcessId> non_root;
-  for (std::size_t level = 0; level <= depth; ++level) {
-    const auto members = system.spawn_group(levels[level], per_level);
-    if (level > 0) {
-      non_root.insert(non_root.end(), members.begin(), members.end());
-    }
-  }
-  constexpr std::size_t kHorizon = 120;
-  std::size_t linked_round = kHorizon;
-  for (std::size_t round = 0; round < kHorizon; ++round) {
-    system.run_rounds(1);
-    std::size_t linked = 0;
-    for (topics::ProcessId p : non_root) {
-      const auto& table = system.node(p).super_table();
-      if (!table.empty() &&
-          table.super_topic() ==
-              hierarchy.super(system.node(p).topic())) {
-        ++linked;
-      }
-    }
-    if (linked_round == kHorizon && linked * 100 >= non_root.size() * 95) {
-      linked_round = round + 1;
-      break;
-    }
-  }
-  const double control =
-      static_cast<double>(system.metrics().total_control_messages());
-  std::size_t linked = 0;
-  for (topics::ProcessId p : non_root) {
-    if (!system.node(p).super_table().empty()) ++linked;
-  }
-  return {static_cast<double>(linked_round), control,
-          static_cast<double>(linked) / static_cast<double>(non_root.size())};
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dam;
@@ -79,28 +29,31 @@ int main(int argc, char** argv) {
                             "ctrl msgs", "ctrl msgs/proc", "final linked"});
   csv.header({"depth", "per_level", "rounds", "control", "control_per_proc",
               "linked_fraction"});
-  constexpr int kRuns = 5;
   for (std::size_t depth : {1u, 2u, 3u, 4u}) {
     for (std::size_t per_level : {10u, 30u}) {
-      util::Accumulator rounds;
-      util::Accumulator control;
-      util::Accumulator linked;
-      for (int run = 0; run < kRuns; ++run) {
-        const auto outcome =
-            measure(depth, per_level,
-                    0xB00 + static_cast<std::uint64_t>(run) * 37 + depth * 7 +
-                        per_level);
-        rounds.add(outcome.rounds_to_link);
-        control.add(outcome.control_messages);
-        linked.add(outcome.linked_fraction);
-      }
+      sim::Scenario scenario = sim::make_linear_scenario(
+          "bootstrap", "FIND_SUPER_CONTACT cold start",
+          std::vector<std::size_t>(depth + 1, per_level));
+      scenario.engine = sim::EngineKind::kDynamic;
+      scenario.workload.arrival.kind = workload::ArrivalKind::kScheduled;
+      scenario.workload.arrival.count = 0;  // no traffic, bootstrap only
+      scenario.workload.arrival.horizon = 16;
+      scenario.workload.engine.auto_wire_super_tables = false;
+      scenario.workload.engine.neighborhood_degree = 5;
+      scenario.workload.engine.warmup_rounds = 0;
+      scenario.workload.engine.drain_rounds = 0;
+      scenario.runs = 5;
+      scenario.base_seed = 0xB00 + depth * 7 + per_level;
+      const exp::SweepResult sweep = exp::run_sweep(scenario);
+      const exp::ScenarioPoint& point = sweep.points.front();
       const double population = static_cast<double>((depth + 1) * per_level);
-      table.row(depth, per_level, util::fixed(rounds.mean(), 1),
-                util::fixed(control.mean(), 0),
-                util::fixed(control.mean() / population, 1),
-                util::fixed(linked.mean(), 3));
-      csv.row(depth, per_level, rounds.mean(), control.mean(),
-              control.mean() / population, linked.mean());
+      const double control = point.control_at_link.mean();
+      table.row(depth, per_level, util::fixed(point.rounds_to_link.mean(), 1),
+                util::fixed(control, 0),
+                util::fixed(control / population, 1),
+                util::fixed(point.linked_fraction.mean(), 3));
+      csv.row(depth, per_level, point.rounds_to_link.mean(), control,
+              control / population, point.linked_fraction.mean());
     }
   }
   table.print(std::cout);

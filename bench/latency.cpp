@@ -5,10 +5,14 @@
 // until an event published in T2 first reaches each group, and until each
 // group is fully covered? Epidemic theory says intra-group spreading takes
 // O(log S) rounds; each hierarchy level adds roughly one hop.
+//
+// Thin wrapper over the experiment lab: the scenario runs through
+// exp::run_sweep (thread-pooled, Welford aggregation) and this binary only
+// formats the per-group first/last delivery-round aggregates the lab now
+// collects for every frozen sweep.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/static_sim.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -20,40 +24,35 @@ int main(int argc, char** argv) {
       "first = round the group's first member delivers; full = round its\n"
       "last alive member delivers (conditioned on any delivery at all)");
 
-  constexpr int kRuns = 150;
+  sim::Scenario scenario = sim::make_linear_scenario(
+      "latency", "Propagation latency over the paper topology",
+      {10, 100, 1000});
+  scenario.alive_sweep = {0.4, 0.6, 0.8, 1.0};
+  scenario.runs = 150;
+  scenario.base_seed = 0x1A7;
+  const exp::SweepResult sweep = exp::run_sweep(scenario);
+
   util::ConsoleTable table({"alive", "T2 first", "T2 full", "T1 first",
                             "T1 full", "T0 first", "T0 full",
                             "total rounds"});
   csv.header({"alive", "t2_first", "t2_full", "t1_first", "t1_full",
               "t0_first", "t0_full", "rounds"});
-
-  for (double alive : {0.4, 0.6, 0.8, 1.0}) {
-    util::Accumulator first[3];
-    util::Accumulator full[3];
-    util::Accumulator rounds;
-    for (int run = 0; run < kRuns; ++run) {
-      core::StaticSimConfig config;
-      config.alive_fraction = alive;
-      config.seed = 0x1A7 + static_cast<std::uint64_t>(run) * 101 +
-                    static_cast<std::uint64_t>(alive * 1000.0);
-      const auto result = core::run_static_simulation(config);
-      rounds.add(static_cast<double>(result.rounds));
-      for (int level = 0; level < 3; ++level) {
-        const auto& group = result.groups[level];
-        if (group.first_delivery_round) {
-          first[level].add(static_cast<double>(*group.first_delivery_round));
-        }
-        if (group.last_delivery_round) {
-          full[level].add(static_cast<double>(*group.last_delivery_round));
-        }
-      }
-    }
-    table.row(util::fixed(alive, 1), util::fixed(first[2].mean(), 1),
-              util::fixed(full[2].mean(), 1), util::fixed(first[1].mean(), 1),
-              util::fixed(full[1].mean(), 1), util::fixed(first[0].mean(), 1),
-              util::fixed(full[0].mean(), 1), util::fixed(rounds.mean(), 1));
-    csv.row(alive, first[2].mean(), full[2].mean(), first[1].mean(),
-            full[1].mean(), first[0].mean(), full[0].mean(), rounds.mean());
+  for (const exp::ScenarioPoint& point : sweep.points) {
+    const auto& t0 = point.groups[0];
+    const auto& t1 = point.groups[1];
+    const auto& t2 = point.groups[2];
+    table.row(util::fixed(point.alive_fraction, 1),
+              util::fixed(t2.first_delivery_round.mean(), 1),
+              util::fixed(t2.last_delivery_round.mean(), 1),
+              util::fixed(t1.first_delivery_round.mean(), 1),
+              util::fixed(t1.last_delivery_round.mean(), 1),
+              util::fixed(t0.first_delivery_round.mean(), 1),
+              util::fixed(t0.last_delivery_round.mean(), 1),
+              util::fixed(point.rounds.mean(), 1));
+    csv.row(point.alive_fraction, t2.first_delivery_round.mean(),
+            t2.last_delivery_round.mean(), t1.first_delivery_round.mean(),
+            t1.last_delivery_round.mean(), t0.first_delivery_round.mean(),
+            t0.last_delivery_round.mean(), point.rounds.mean());
   }
   table.print(std::cout);
   std::cout << "\nexpected: T2 covers itself in ~3-4 rounds (log_fanout S);\n"

@@ -62,7 +62,11 @@ int main(int argc, char** argv) {
     const double hier = baselines::hierarchical_memory_per_process(
         hier_config.group_count, population / hier_config.group_count,
         hier_config.c1, hier_config.c2);
-    table.row("T" + std::to_string(level), util::fixed(dam_formula, 1),
+    // += rather than operator+ to sidestep GCC's -Wrestrict false positive
+    // on inlined string concatenation (GCC bug 105329).
+    std::string label = "T";
+    label += std::to_string(level);
+    table.row(label, util::fixed(dam_formula, 1),
               util::fixed(measured.mean(), 1), util::fixed(mcast, 1),
               util::fixed(bcast, 1), util::fixed(hier, 1));
     csv.row(level, dam_formula, measured.mean(), mcast, bcast, hier);

@@ -5,48 +5,38 @@
 // (lpbcast-style digests + requests, cf. the paper's reference [6]) trades
 // extra control traffic for reliability. This bench sweeps channel quality
 // and reports delivery ratio and message overhead with and without it.
+//
+// Thin wrapper over the experiment lab's dynamic lane: each (psucc,
+// recovery) cell is a Scenario with a 3-publication scheduled stream; the
+// lab runs it across the thread pool and this binary formats the
+// reliability / message aggregates.
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/system.hpp"
-#include "topics/hierarchy.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
-struct Outcome {
-  double delivery;
-  double event_msgs;
-  double control_msgs;
-};
-
-Outcome run(double psucc, bool recovery, std::uint64_t seed) {
+dam::exp::SweepResult run_cell(double psucc, bool recovery) {
   using namespace dam;
-  topics::TopicHierarchy hierarchy;
-  const auto levels = topics::make_linear_hierarchy(hierarchy, 2);
-  core::DamSystem::Config config;
-  config.seed = seed;
-  config.auto_wire_super_tables = true;
-  config.node.params.psucc = psucc;
-  config.node.recovery.enabled = recovery;
-  config.node.recovery.history_size = 32;
-  config.node.recovery.digest_size = 8;
-  core::DamSystem system(hierarchy, config);
-  system.spawn_group(levels[0], 10);
-  system.spawn_group(levels[1], 30);
-  const auto leaves = system.spawn_group(levels[2], 80);
-  system.run_rounds(3);
-  double delivery = 0.0;
-  constexpr int kEvents = 3;
-  for (int i = 0; i < kEvents; ++i) {
-    const auto event = system.publish(leaves[i * 11]);
-    system.run_rounds(25);
-    delivery += system.delivery_ratio(event);
-  }
-  return {delivery / kEvents,
-          static_cast<double>(system.metrics().total_event_messages()),
-          static_cast<double>(system.metrics().total_control_messages())};
+  sim::Scenario scenario = sim::make_linear_scenario(
+      "recovery", "Event-recovery ablation", {10, 30, 80});
+  scenario.engine = sim::EngineKind::kDynamic;
+  core::TopicParams params;
+  params.psucc = psucc;
+  scenario.params = {params};
+  scenario.workload.arrival.kind = workload::ArrivalKind::kScheduled;
+  scenario.workload.arrival.count = 3;
+  scenario.workload.arrival.horizon = 51;  // publications at rounds 0/17/34
+  scenario.workload.engine.warmup_rounds = 3;
+  scenario.workload.engine.drain_rounds = 25;
+  scenario.workload.engine.recovery_enabled = recovery;
+  scenario.workload.engine.recovery_history = 32;
+  scenario.workload.engine.recovery_digest = 8;
+  scenario.runs = 10;
+  scenario.base_seed = 0xEC0 + static_cast<std::uint64_t>(psucc * 100.0);
+  return exp::run_sweep(scenario);
 }
 
 }  // namespace
@@ -66,31 +56,18 @@ int main(int argc, char** argv) {
               "rec_event", "base_control", "rec_control"});
 
   for (double psucc : {0.3, 0.5, 0.7, 0.9}) {
-    util::Accumulator base_delivery;
-    util::Accumulator rec_delivery;
-    util::Accumulator base_event;
-    util::Accumulator rec_event;
-    util::Accumulator base_control;
-    util::Accumulator rec_control;
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      const auto base = run(psucc, false, seed);
-      const auto rec = run(psucc, true, seed);
-      base_delivery.add(base.delivery);
-      rec_delivery.add(rec.delivery);
-      base_event.add(base.event_msgs);
-      rec_event.add(rec.event_msgs);
-      base_control.add(base.control_msgs);
-      rec_control.add(rec.control_msgs);
-    }
-    table.row(util::fixed(psucc, 1), util::fixed(base_delivery.mean(), 3),
-              util::fixed(rec_delivery.mean(), 3),
-              util::fixed(base_event.mean(), 0),
-              util::fixed(rec_event.mean(), 0),
-              util::fixed(base_control.mean(), 0),
-              util::fixed(rec_control.mean(), 0));
-    csv.row(psucc, base_delivery.mean(), rec_delivery.mean(),
-            base_event.mean(), rec_event.mean(), base_control.mean(),
-            rec_control.mean());
+    const exp::ScenarioPoint base = run_cell(psucc, false).points.front();
+    const exp::ScenarioPoint rec = run_cell(psucc, true).points.front();
+    table.row(util::fixed(psucc, 1),
+              util::fixed(base.event_reliability.mean(), 3),
+              util::fixed(rec.event_reliability.mean(), 3),
+              util::fixed(base.total_messages.mean(), 0),
+              util::fixed(rec.total_messages.mean(), 0),
+              util::fixed(base.control_messages.mean(), 0),
+              util::fixed(rec.control_messages.mean(), 0));
+    csv.row(psucc, base.event_reliability.mean(), rec.event_reliability.mean(),
+            base.total_messages.mean(), rec.total_messages.mean(),
+            base.control_messages.mean(), rec.control_messages.mean());
   }
   table.print(std::cout);
   std::cout

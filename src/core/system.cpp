@@ -21,13 +21,11 @@ DamSystem::DamSystem(const topics::TopicHierarchy& hierarchy, Config config)
       config_(config),
       rng_(config.seed),
       registry_(hierarchy),
+      // failures_ is declared (and therefore initialized) before
+      // transport_, so handing its pointer to the transport here is safe.
       failures_(std::make_unique<sim::NoFailures>()),
-      transport_(effective_transport(config), rng_.fork(0x7A4), nullptr) {
-  // Transport consults the failure model through a stable pointer; set it
-  // after failures_ is initialized.
-  transport_ = net::Transport(effective_transport(config), rng_.fork(0x7A4),
-                              failures_.get());
-}
+      transport_(effective_transport(config), rng_.fork(0x7A4),
+                 failures_.get()) {}
 
 DamSystem::~DamSystem() = default;
 
@@ -130,8 +128,10 @@ std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
 
 void DamSystem::set_failure_model(std::unique_ptr<sim::FailureModel> model) {
   failures_ = std::move(model);
-  transport_ = net::Transport(effective_transport(config_), rng_.fork(0x7A5),
-                              failures_.get());
+  // Pointer swap only: rebuilding the transport here used to drop every
+  // in-flight message — including the bootstrap floods nodes send at
+  // spawn time — silently costing cold-start runs a full retry timeout.
+  transport_.set_failure_model(failures_.get());
 }
 
 void DamSystem::run_rounds(std::size_t count) {
@@ -156,6 +156,11 @@ net::EventId DamSystem::publish(ProcessId publisher,
   const net::EventId event = source.publish(std::move(payload));
   publications_[event] = Publication{
       source.topic(), registry_.interested_set(source.topic())};
+  // The publisher's own (synchronous, latency-0) delivery happened inside
+  // DamNode::publish, before the event id existed for begin_event; record
+  // it here so latency aggregates cover every first delivery.
+  metrics_.begin_event(event, clock_.now());
+  metrics_.note_event_delivery(event, clock_.now());
   if (trace_ != nullptr) {
     sim::TraceEntry entry;
     entry.round = clock_.now();
@@ -227,6 +232,7 @@ void DamSystem::deliver(ProcessId self, const Message& event_msg) {
   deliveries_[event_msg.event].insert(self);
   ++metrics_.group(registry_.topic_of(self)).delivered;
   metrics_.note_infection(clock_.now());
+  metrics_.note_event_delivery(event_msg.event, clock_.now());
   if (!registry_.interested_in(self, event_msg.topic)) {
     // Never expected for daMulticast — the property tests assert on this.
     metrics_.count_parasite_delivery();

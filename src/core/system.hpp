@@ -59,7 +59,8 @@ class DamSystem final : public Env {
   std::vector<ProcessId> spawn_group(TopicId topic, std::size_t count);
 
   /// Installs a failure model (defaults to NoFailures). The system keeps
-  /// ownership; pass by unique_ptr.
+  /// ownership; pass by unique_ptr. Safe at any point: in-flight messages
+  /// and the channel RNG stream are preserved across the swap.
   void set_failure_model(std::unique_ptr<sim::FailureModel> model);
 
   /// Runs `count` synchronous rounds: deliver in-flight messages, then give

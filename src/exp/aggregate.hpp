@@ -23,6 +23,7 @@
 #include "core/frozen_sim.hpp"
 #include "sim/scenario.hpp"
 #include "util/stats.hpp"
+#include "workload/driver.hpp"
 
 namespace dam::exp {
 
@@ -37,6 +38,15 @@ struct ScenarioGroupStats {
   util::Proportion all_alive_delivered;  ///< over runs with alive members
   util::Proportion any_inter_received;   ///< P(>= 1 intergroup arrival)
   util::Accumulator duplicate_deliveries;
+
+  /// Propagation latency in rounds, conditioned on the group receiving
+  /// anything at all (frozen lane: per-run first/last delivery round).
+  util::Accumulator first_delivery_round;
+  util::Accumulator last_delivery_round;
+
+  /// Control traffic charged to this group (dynamic lane; zero samples for
+  /// frozen sweeps, which exchange no control messages).
+  util::Accumulator control_sent;
 };
 
 /// One aggregated sweep point (a single alive fraction of a scenario).
@@ -45,6 +55,19 @@ struct ScenarioPoint {
   std::vector<ScenarioGroupStats> groups;  ///< indexed by topic
   util::Accumulator total_messages;
   util::Accumulator rounds;
+
+  // --- Dynamic-lane aggregates (zero samples for frozen sweeps). ----------
+  util::Accumulator publications;       ///< publications injected per run
+  util::Accumulator event_reliability;  ///< per-run mean fraction of alive
+                                        ///< interested processes reached
+  util::Accumulator delivery_latency;   ///< per-run mean delivery latency
+  util::Accumulator max_latency;        ///< per-run slowest first delivery
+  util::Accumulator control_messages;   ///< control messages per run
+
+  // --- Bootstrap lane (cold-start runs; see workload::DynamicRunResult). --
+  util::Accumulator rounds_to_link;
+  util::Accumulator linked_fraction;
+  util::Accumulator control_at_link;
 };
 
 /// Empty aggregate for one sweep point: group labels/sizes from the
@@ -56,6 +79,12 @@ struct ScenarioPoint {
 /// member contribute no delivery-ratio/reliability sample for that group
 /// (a vacuous 1.0 would inflate reliability curves at low alive fractions).
 void accumulate_run(ScenarioPoint& point, const core::FrozenRunResult& run);
+
+/// Dynamic-lane overload: same per-group counters, plus the traffic-stream
+/// aggregates (publications, reliability, latency, control) and — for
+/// cold-start runs — the bootstrap-link trio.
+void accumulate_run(ScenarioPoint& point,
+                    const workload::DynamicRunResult& run);
 
 /// Merges a shard partial into `into` (same scenario, same sweep point).
 /// Exact for counters/proportions; Welford-merge for the accumulators.

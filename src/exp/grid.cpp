@@ -10,7 +10,7 @@ namespace {
 
 const char* const kKnownKeys[] = {"a",     "b",     "c",     "g",
                                   "psucc", "tau",   "z",     "alive",
-                                  "scale", "depth", "runs"};
+                                  "scale", "depth", "fanin", "runs"};
 
 bool known_key(std::string_view key) {
   for (const char* candidate : kKnownKeys) {
@@ -195,6 +195,37 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
       scenario.super_edges = std::move(rebuilt.super_edges);
       scenario.group_sizes = std::move(rebuilt.group_sizes);
       scenario.publish_topic = rebuilt.publish_topic;
+    } else if (key == "fanin") {
+      if (value < 1.0 || value > 64.0) {
+        throw std::invalid_argument("grid: fanin must be in [1, 64]");
+      }
+      const std::size_t fanin = static_cast<std::size_t>(std::llround(value));
+      // Rebuild the topology as a multi-parent DAG: one bottom (publish)
+      // topic B under `fanin` disjoint parent topics P0..P{k-1}. Keeps the
+      // current bottom group size; each parent gets a tenth of it (floor
+      // 10), mirroring the depth axis's shrink rule. Replaces any existing
+      // shape — this is the DAG counterpart of the `depth` axis, so the
+      // ROADMAP's "no DAG fan-in sweep" gap closes with one grid spec:
+      //   --grid "fanin=1:8"
+      // (frozen engine only; the dynamic lane needs a tree).
+      const std::size_t bottom =
+          scenario.group_sizes.empty() ? 1 : scenario.group_sizes.back();
+      const std::size_t parent_size =
+          std::max<std::size_t>(std::min<std::size_t>(10, bottom), bottom / 10);
+      scenario.topic_names.clear();
+      scenario.super_edges.clear();
+      scenario.group_sizes.clear();
+      for (std::size_t p = 0; p < fanin; ++p) {
+        std::string topic = "P";
+        topic += std::to_string(p);
+        scenario.topic_names.push_back(std::move(topic));
+        scenario.group_sizes.push_back(parent_size);
+        scenario.super_edges.emplace_back(static_cast<std::uint32_t>(fanin),
+                                          static_cast<std::uint32_t>(p));
+      }
+      scenario.topic_names.push_back("B");
+      scenario.group_sizes.push_back(bottom);
+      scenario.publish_topic = static_cast<std::uint32_t>(fanin);
     } else if (key == "runs") {
       // Bounded on both sides: a huge value would wrap the int cast and
       // silently run ~1.4e9 sweeps instead of erroring.

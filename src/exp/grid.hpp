@@ -27,6 +27,12 @@
 //                               current bottom (publish) group size and
 //                               shrinking 10x per level up (floor 10) —
 //                               the topology-shape axis;
+//   fanin                     — replaces the topology with a multi-parent
+//                               DAG: one bottom (publish) topic under this
+//                               many disjoint parent topics, keeping the
+//                               bottom group size (parents get a tenth,
+//                               floor 10) — the DAG-shape axis (frozen
+//                               engine only);
 //   runs                      — runs per sweep point.
 //
 // Axes apply in declaration order, so "depth=4 scale=10" builds the chain

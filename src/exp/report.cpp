@@ -12,6 +12,23 @@ namespace dam::exp {
 void print_sweep_table(const std::vector<ScenarioPoint>& points,
                        std::ostream& out, util::CsvWriter* mirror) {
   if (points.empty()) return;
+  // Column set is decided once for the whole sweep, by lane: columns whose
+  // aggregates collected no samples anywhere stay invisible. In practice
+  // frozen sweeps gain the per-group first/full latency columns (every
+  // delivering run samples them — bench_latency's measurand), while the
+  // dynamic-traffic and bootstrap-link columns appear only on runs that
+  // produced them; degenerate sweeps (no deliveries at all) collapse to
+  // the historical layout.
+  bool show_latency = false;
+  bool show_dynamic = false;
+  bool show_bootstrap = false;
+  for (const ScenarioPoint& point : points) {
+    show_dynamic = show_dynamic || point.publications.count() > 0;
+    show_bootstrap = show_bootstrap || point.rounds_to_link.count() > 0;
+    for (const ScenarioGroupStats& group : point.groups) {
+      show_latency = show_latency || group.first_delivery_round.count() > 0;
+    }
+  }
   std::vector<std::string> columns{"alive"};
   for (const ScenarioGroupStats& group : points.front().groups) {
     columns.push_back(group.topic + " intra");
@@ -21,6 +38,21 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
                                               // the paper's Fig. 9 headline
     columns.push_back(group.topic + " frac");
     columns.push_back(group.topic + " all");
+    if (show_latency) {
+      columns.push_back(group.topic + " first");
+      columns.push_back(group.topic + " full");
+    }
+  }
+  if (show_dynamic) {
+    columns.push_back("pubs");
+    columns.push_back("reliab");
+    columns.push_back("latency");
+    columns.push_back("ctrl msgs");
+  }
+  if (show_bootstrap) {
+    columns.push_back("link rds");
+    columns.push_back("linked");
+    columns.push_back("ctrl@link");
   }
   columns.push_back("total msgs");
   columns.push_back("rounds");
@@ -35,6 +67,21 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
       cells.push_back(util::fixed(group.any_inter_received.estimate(), 2));
       cells.push_back(util::fixed(group.delivery_ratio.mean(), 3));
       cells.push_back(util::fixed(group.all_alive_delivered.estimate(), 2));
+      if (show_latency) {
+        cells.push_back(util::fixed(group.first_delivery_round.mean(), 1));
+        cells.push_back(util::fixed(group.last_delivery_round.mean(), 1));
+      }
+    }
+    if (show_dynamic) {
+      cells.push_back(util::fixed(point.publications.mean(), 1));
+      cells.push_back(util::fixed(point.event_reliability.mean(), 3));
+      cells.push_back(util::fixed(point.delivery_latency.mean(), 2));
+      cells.push_back(util::fixed(point.control_messages.mean(), 0));
+    }
+    if (show_bootstrap) {
+      cells.push_back(util::fixed(point.rounds_to_link.mean(), 1));
+      cells.push_back(util::fixed(point.linked_fraction.mean(), 3));
+      cells.push_back(util::fixed(point.control_at_link.mean(), 0));
     }
     cells.push_back(util::fixed(point.total_messages.mean(), 0));
     cells.push_back(util::fixed(point.rounds.mean(), 1));
@@ -47,8 +94,10 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
 void csv_report_header(util::CsvWriter& csv) {
   csv.header({"scenario", "grid", "alive", "topic", "size", "intra_mean",
               "inter_mean", "recv_mean", "any_recv", "ratio_mean",
-              "ratio_ci95", "all_alive", "dup_mean", "total_msgs_mean",
-              "rounds_mean"});
+              "ratio_ci95", "all_alive", "dup_mean", "first_mean",
+              "last_mean", "ctrl_sent_mean", "total_msgs_mean", "rounds_mean",
+              "pubs_mean", "reliab_mean", "latency_mean", "latency_max_mean",
+              "ctrl_msgs_mean"});
 }
 
 void csv_report_rows(util::CsvWriter& csv, const std::string& scenario,
@@ -61,8 +110,13 @@ void csv_report_rows(util::CsvWriter& csv, const std::string& scenario,
               group.inter_received.mean(), group.any_inter_received.estimate(),
               group.delivery_ratio.mean(), group.delivery_ratio.ci95_halfwidth(),
               group.all_alive_delivered.estimate(),
-              group.duplicate_deliveries.mean(), point.total_messages.mean(),
-              point.rounds.mean());
+              group.duplicate_deliveries.mean(),
+              group.first_delivery_round.mean(),
+              group.last_delivery_round.mean(), group.control_sent.mean(),
+              point.total_messages.mean(), point.rounds.mean(),
+              point.publications.mean(), point.event_reliability.mean(),
+              point.delivery_latency.mean(), point.max_latency.mean(),
+              point.control_messages.mean());
     }
   }
 }
@@ -171,6 +225,22 @@ void BenchReport::write(std::ostream& out) const {
       emit_accumulator(out, "total_messages", point.total_messages);
       out << ',';
       emit_accumulator(out, "rounds", point.rounds);
+      out << ',';
+      emit_accumulator(out, "publications", point.publications);
+      out << ',';
+      emit_accumulator(out, "event_reliability", point.event_reliability);
+      out << ',';
+      emit_accumulator(out, "delivery_latency", point.delivery_latency);
+      out << ',';
+      emit_accumulator(out, "max_latency", point.max_latency);
+      out << ',';
+      emit_accumulator(out, "control_messages", point.control_messages);
+      out << ',';
+      emit_accumulator(out, "rounds_to_link", point.rounds_to_link);
+      out << ',';
+      emit_accumulator(out, "linked_fraction", point.linked_fraction);
+      out << ',';
+      emit_accumulator(out, "control_at_link", point.control_at_link);
       out << ",\"groups\":[";
       bool first_group = true;
       for (const ScenarioGroupStats& group : point.groups) {
@@ -188,6 +258,12 @@ void BenchReport::write(std::ostream& out) const {
         out << ',';
         emit_accumulator(out, "duplicate_deliveries",
                          group.duplicate_deliveries);
+        out << ',';
+        emit_accumulator(out, "first_round", group.first_delivery_round);
+        out << ',';
+        emit_accumulator(out, "last_round", group.last_delivery_round);
+        out << ',';
+        emit_accumulator(out, "control_sent", group.control_sent);
         out << ",\"all_alive_delivered\":"
             << json_number(group.all_alive_delivered.estimate())
             << ",\"any_inter_received\":"

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/frozen_sim.hpp"
+#include "workload/driver.hpp"
 
 namespace dam::exp {
 
@@ -94,6 +95,12 @@ SweepResult run_sweep(const sim::Scenario& scenario,
   if (options.shards == 0) {
     throw std::invalid_argument("run_sweep: shards must be positive");
   }
+  // Dynamic scenarios share one read-only topology binding across workers;
+  // building it also front-loads the tree-shape validation.
+  const bool dynamic = scenario.engine == sim::EngineKind::kDynamic;
+  const workload::DynamicScenarioBinding binding =
+      dynamic ? workload::bind_scenario(scenario)
+              : workload::DynamicScenarioBinding{};
   const auto started = std::chrono::steady_clock::now();
   const unsigned jobs = resolve_jobs(options.jobs);
   const std::size_t runs = static_cast<std::size_t>(scenario.runs);
@@ -120,18 +127,32 @@ SweepResult run_sweep(const sim::Scenario& scenario,
       const std::size_t lo = runs * s / shard_count;
       const std::size_t hi = runs * (s + 1) / shard_count;
       Shard& shard = shards[pt * shard_count + s];
-      tasks.push_back([&scenario, &dag, &shard, alive, lo, hi] {
+      tasks.push_back([&scenario, &dag, &binding, &shard, dynamic, alive, lo,
+                       hi] {
         shard.partial = make_point(scenario, alive);
         for (std::size_t run = lo; run < hi; ++run) {
-          const core::FrozenRunResult result = core::run_frozen_simulation(
-              scenario.config_for(dag, alive, static_cast<int>(run)));
-          accumulate_run(shard.partial, result);
-          shard.events += result.total_messages;
-          ++shard.runs;
-          shard.table_build_seconds += result.table_build_seconds;
-          shard.dissemination_seconds += result.dissemination_seconds;
-          shard.peak_table_bytes =
-              std::max(shard.peak_table_bytes, result.table_bytes);
+          if (dynamic) {
+            const workload::DynamicRunResult result =
+                workload::run_dynamic_simulation(scenario, binding, alive,
+                                                 static_cast<int>(run));
+            accumulate_run(shard.partial, result);
+            // Control messages are real network traffic of the dynamic
+            // engine; the events/sec throughput counts them alongside
+            // event messages.
+            shard.events += result.total_messages + result.control_messages;
+            ++shard.runs;
+            shard.dissemination_seconds += result.wall_seconds;
+          } else {
+            const core::FrozenRunResult result = core::run_frozen_simulation(
+                scenario.config_for(dag, alive, static_cast<int>(run)));
+            accumulate_run(shard.partial, result);
+            shard.events += result.total_messages;
+            ++shard.runs;
+            shard.table_build_seconds += result.table_build_seconds;
+            shard.dissemination_seconds += result.dissemination_seconds;
+            shard.peak_table_bytes =
+                std::max(shard.peak_table_bytes, result.table_bytes);
+          }
         }
       });
     }

@@ -74,9 +74,13 @@ void run_parallel(const std::vector<std::function<void()>>& tasks,
                   unsigned jobs);
 
 /// Executes the scenario's full (alive sweep × runs) grid and returns one
-/// aggregated point per sweep entry. Aggregates are bit-identical for any
-/// `options.jobs`; `options.shards` changes the reduction shape and hence
-/// the last-ulp rounding of means, so comparisons must hold it fixed.
+/// aggregated point per sweep entry. Dispatches on Scenario::engine: frozen
+/// scenarios run core/run_frozen_simulation, dynamic scenarios replay their
+/// workload stream through core/system (workload/driver) — both through
+/// the same pool, sharded reduction, and reporters. Aggregates are
+/// bit-identical for any `options.jobs`; `options.shards` changes the
+/// reduction shape and hence the last-ulp rounding of means, so
+/// comparisons must hold it fixed.
 [[nodiscard]] SweepResult run_sweep(const sim::Scenario& scenario,
                                     const RunnerOptions& options = {});
 

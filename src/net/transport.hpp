@@ -52,6 +52,14 @@ class Transport {
   /// True if any message is still in flight.
   [[nodiscard]] bool idle() const noexcept { return in_flight_.empty(); }
 
+  /// Swaps the failure model consulted at delivery time. In-flight
+  /// messages and the channel RNG stream are untouched, so a model can be
+  /// installed mid-setup (even after spawns already sent traffic) without
+  /// losing anything.
+  void set_failure_model(const sim::FailureModel* failures) noexcept {
+    failures_ = failures;
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }

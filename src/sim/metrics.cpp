@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 namespace dam::sim {
 
 const GroupCounters Metrics::kZero{};
@@ -7,6 +9,23 @@ const GroupCounters Metrics::kZero{};
 const GroupCounters& Metrics::group(topics::TopicId topic) const {
   auto it = per_group_.find(topic);
   return it == per_group_.end() ? kZero : it->second;
+}
+
+void Metrics::begin_event(net::EventId event, Round now) {
+  EventLatency& entry = event_latencies_[event];
+  entry.published_at = now;
+}
+
+void Metrics::note_event_delivery(net::EventId event, Round now) {
+  const auto it = event_latencies_.find(event);
+  if (it == event_latencies_.end()) return;
+  EventLatency& entry = it->second;
+  // The publisher's own delivery lands in the publish round; clamp instead
+  // of underflowing if a recorder ever replays an older round.
+  const Round latency = now >= entry.published_at ? now - entry.published_at : 0;
+  ++entry.deliveries;
+  entry.latency_sum += latency;
+  entry.max_latency = std::max(entry.max_latency, latency);
 }
 
 void Metrics::note_infection(Round round) {
@@ -42,6 +61,7 @@ std::uint64_t Metrics::total_deliveries() const {
 
 void Metrics::reset() {
   per_group_.clear();
+  event_latencies_.clear();
   parasite_deliveries_ = 0;
   infections_per_round_.clear();
 }

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/message.hpp"
 #include "sim/clock.hpp"
 #include "topics/topic.hpp"
 
@@ -37,6 +38,25 @@ class Metrics {
 
   void note_infection(Round round);
 
+  /// Per-publication latency tracking (the dynamic lane's measurand).
+  /// begin_event records the publish round; note_event_delivery folds one
+  /// first-time delivery into the event's latency aggregate. Deliveries of
+  /// events never begun (e.g. pre-registered history replays) are ignored.
+  struct EventLatency {
+    Round published_at = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t latency_sum = 0;  ///< sum of (delivery round - publish round)
+    Round max_latency = 0;
+  };
+
+  void begin_event(net::EventId event, Round now);
+  void note_event_delivery(net::EventId event, Round now);
+
+  [[nodiscard]] const std::unordered_map<net::EventId, EventLatency>&
+  event_latencies() const noexcept {
+    return event_latencies_;
+  }
+
   /// Newly infected process counts per round (index = round).
   [[nodiscard]] const std::vector<std::uint64_t>& infections_per_round()
       const noexcept {
@@ -51,6 +71,7 @@ class Metrics {
 
  private:
   std::unordered_map<topics::TopicId, GroupCounters> per_group_;
+  std::unordered_map<net::EventId, EventLatency> event_latencies_;
   std::uint64_t parasite_deliveries_ = 0;
   std::vector<std::uint64_t> infections_per_round_;
   static const GroupCounters kZero;

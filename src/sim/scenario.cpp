@@ -25,6 +25,12 @@ topics::TopicDag Scenario::build_dag() const {
   return dag;
 }
 
+std::uint64_t Scenario::seed_for(double alive_fraction,
+                                 int run) const noexcept {
+  return base_seed + static_cast<std::uint64_t>(run) * 7919 +
+         static_cast<std::uint64_t>(std::lround(alive_fraction * 1000.0));
+}
+
 core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
                                            double alive_fraction,
                                            int run) const {
@@ -36,8 +42,7 @@ core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
   config.failure_mode = failure_mode;
   config.churn = churn;
   config.publish_topic = topics::DagTopicId{publish_topic};
-  config.seed = base_seed + static_cast<std::uint64_t>(run) * 7919 +
-                static_cast<std::uint64_t>(std::lround(alive_fraction * 1000.0));
+  config.seed = seed_for(alive_fraction, run);
   config.table_build = table_build;
   return config;
 }
@@ -181,6 +186,66 @@ std::vector<Scenario> build_registry() {
     s.base_seed = 0xC43;
     presets.push_back(std::move(s));
   }
+  // --- Dynamic lane (workload streams through core/system). ---------------
+  // These run the full message-passing engine: multi-publication traffic,
+  // membership gossip, bootstrap, and (for churn) mid-run joins and
+  // crash/recover outages. The alive sweep is the stillborn fraction of
+  // the initial population, as in the frozen lane.
+  {
+    Scenario s = make_linear_scenario(
+        "zipf-storm",
+        "Dynamic: Poisson arrivals, Zipf topic skew over the hierarchy",
+        {10, 100, 1000});
+    s.engine = EngineKind::kDynamic;
+    s.workload.arrival.kind = workload::ArrivalKind::kPoisson;
+    s.workload.arrival.rate = 0.8;
+    s.workload.arrival.horizon = 30;
+    s.workload.popularity.kind = workload::PopularityKind::kZipf;
+    s.workload.popularity.zipf_s = 1.0;
+    s.workload.engine.drain_rounds = 20;
+    s.alive_sweep = {0.7, 0.85, 1.0};
+    s.runs = 30;
+    s.base_seed = 0x21F;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "flashcrowd",
+        "Dynamic: 3 publication bursts over a quiet background stream",
+        {10, 100, 1000});
+    s.engine = EngineKind::kDynamic;
+    s.workload.arrival.kind = workload::ArrivalKind::kFlashcrowd;
+    s.workload.arrival.rate = 0.1;
+    s.workload.arrival.horizon = 24;
+    s.workload.arrival.bursts = 3;
+    s.workload.arrival.burst_size = 15;
+    s.workload.arrival.burst_width = 2;
+    s.workload.engine.drain_rounds = 20;
+    s.alive_sweep = {0.85, 1.0};
+    s.runs = 30;
+    s.base_seed = 0xF1C;
+    presets.push_back(std::move(s));
+  }
+  {
+    Scenario s = make_linear_scenario(
+        "churn-subscribe-heavy",
+        "Dynamic: joins, leaves and crash/recover under steady traffic",
+        {10, 50, 200});
+    s.engine = EngineKind::kDynamic;
+    s.workload.arrival.kind = workload::ArrivalKind::kPoisson;
+    s.workload.arrival.rate = 0.5;
+    s.workload.arrival.horizon = 30;
+    s.workload.popularity.kind = workload::PopularityKind::kUniform;
+    s.workload.churn.crash_fraction = 0.6;
+    s.workload.churn.crash_length = 4;
+    s.workload.churn.leave_fraction = 0.15;
+    s.workload.churn.joins = 80;
+    s.workload.engine.drain_rounds = 20;
+    s.runs = 40;
+    s.base_seed = 0xC5B;
+    presets.push_back(std::move(s));
+  }
+
   // --- Giant groups (the million-user north star). ------------------------
   // One engine run dominates these; runs are few and the interest is the
   // table-build vs dissemination wall split in the bench JSON. Scale the

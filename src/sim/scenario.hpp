@@ -27,8 +27,18 @@
 
 #include "core/frozen_sim.hpp"
 #include "topics/dag.hpp"
+#include "workload/traffic.hpp"
 
 namespace dam::sim {
+
+/// Which engine executes a scenario's runs in the experiment lab.
+enum class EngineKind {
+  kFrozen,   ///< core/frozen_sim: one publication over frozen tables
+             ///< (the paper's Sec. VII regime)
+  kDynamic,  ///< core/system via workload/driver: a generated traffic
+             ///< stream (arrivals, popularity skew, subscription churn)
+             ///< against the full message-passing engine
+};
 
 struct Scenario {
   std::string name;     ///< registry key (e.g. "fig9")
@@ -63,12 +73,25 @@ struct Scenario {
   /// Topic index the event is published in.
   std::uint32_t publish_topic = 0;
 
+  /// Engine dispatch: kFrozen runs run_frozen_simulation; kDynamic binds
+  /// the topology as a TopicHierarchy (trees only) and replays the
+  /// generated `workload` stream through core/system.
+  EngineKind engine = EngineKind::kFrozen;
+
+  /// Traffic model for the dynamic lane; ignored by the frozen engine.
+  workload::WorkloadConfig workload;
+
   /// Simulation runs per sweep point and the base seed; run r of point p
   /// uses seed base_seed + r * 7919 + round(alive * 1000). The seed is a
   /// pure function of (base_seed, point, run) — never of the thread that
   /// executes the run — so parallel sweeps are reproducible.
   int runs = 100;
   std::uint64_t base_seed = 1;
+
+  /// The (base_seed, point, run) seed formula — shared by both engines so
+  /// a scenario's randomness is engine-independent at the seed level.
+  [[nodiscard]] std::uint64_t seed_for(double alive_fraction,
+                                       int run) const noexcept;
 
   /// Materializes the topology. Throws std::invalid_argument on bad edges
   /// (TopicDag validates acyclicity).

@@ -1,0 +1,223 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dam::workload {
+
+util::Rng stream_rng(std::uint64_t base_seed, StreamId stream,
+                     std::uint64_t index) noexcept {
+  // Three chained SplitMix64 whitenings: base, then stream, then index.
+  // Each mix folds the next coordinate in with a distinct odd multiplier so
+  // (seed, stream, index) cells never collide by construction of the
+  // bijective SplitMix64 step.
+  std::uint64_t state = base_seed;
+  state = util::splitmix64(state) ^
+          (static_cast<std::uint64_t>(stream) * 0x9E3779B97F4A7C15ULL);
+  state = util::splitmix64(state) ^ (index * 0xBF58476D1CE4E5B9ULL);
+  return util::Rng(util::splitmix64(state));
+}
+
+std::size_t poisson_draw(double rate, util::Rng& rng) noexcept {
+  if (rate <= 0.0) return 0;
+  rate = std::min(rate, 64.0);
+  // Knuth inversion: count uniforms until their product drops below e^-rate.
+  const double threshold = std::exp(-rate);
+  double product = 1.0;
+  std::size_t k = 0;
+  do {
+    ++k;
+    product *= rng.uniform01();
+  } while (product > threshold);
+  return k - 1;
+}
+
+std::vector<double> zipf_cdf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf_cdf: need at least one rank");
+  if (s < 0.0) throw std::invalid_argument("zipf_cdf: exponent must be >= 0");
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += std::pow(static_cast<double>(rank + 1), -s);
+    cdf[rank] = total;
+  }
+  for (double& entry : cdf) entry /= total;
+  cdf.back() = 1.0;  // exact upper end despite rounding
+  return cdf;
+}
+
+std::size_t publication_count(const EventStream& stream) noexcept {
+  std::size_t count = 0;
+  for (const TrafficEvent& event : stream) {
+    count += event.kind == TrafficEvent::Kind::kPublish;
+  }
+  return count;
+}
+
+namespace {
+
+void validate(const WorkloadConfig& config, const TrafficShape& shape) {
+  if (shape.topic_count == 0) {
+    throw std::invalid_argument("generate_stream: shape needs >= 1 topic");
+  }
+  if (shape.publish_topic >= shape.topic_count) {
+    throw std::invalid_argument(
+        "generate_stream: publish_topic outside the topic range");
+  }
+  if (config.arrival.rate < 0.0) {
+    throw std::invalid_argument("generate_stream: negative arrival rate");
+  }
+  if (config.churn.crash_fraction < 0.0 || config.churn.crash_fraction > 1.0 ||
+      config.churn.leave_fraction < 0.0 || config.churn.leave_fraction > 1.0) {
+    throw std::invalid_argument(
+        "generate_stream: churn fractions must be in [0, 1]");
+  }
+  if (config.popularity.kind == PopularityKind::kZipf &&
+      config.popularity.zipf_s < 0.0) {
+    throw std::invalid_argument("generate_stream: zipf_s must be >= 0");
+  }
+}
+
+/// Rounds at which publications occur, in publication-index order. Each
+/// entry is pure in (seed, kArrival, round): the round's arrival count is
+/// one draw from that round's own stream cell, so trimming or extending the
+/// horizon never reshuffles earlier rounds.
+std::vector<std::size_t> arrival_rounds(const ArrivalConfig& arrival,
+                                        std::uint64_t seed) {
+  std::vector<std::size_t> rounds;
+  const std::size_t horizon = std::max<std::size_t>(arrival.horizon, 1);
+  switch (arrival.kind) {
+    case ArrivalKind::kScheduled: {
+      // Evenly spaced: publication i at floor(i * horizon / count).
+      for (std::size_t i = 0; i < arrival.count; ++i) {
+        rounds.push_back(i * horizon / std::max<std::size_t>(arrival.count, 1));
+      }
+      break;
+    }
+    case ArrivalKind::kPoisson: {
+      for (std::size_t round = 0; round < horizon; ++round) {
+        util::Rng rng = stream_rng(seed, StreamId::kArrival, round);
+        const std::size_t n = poisson_draw(arrival.rate, rng);
+        rounds.insert(rounds.end(), n, round);
+      }
+      break;
+    }
+    case ArrivalKind::kFlashcrowd: {
+      // Background Poisson plus dense bursts. Burst b starts at
+      // floor(b * horizon / bursts); its publications wrap round-robin
+      // across the burst_width rounds.
+      std::vector<std::size_t> per_round(horizon, 0);
+      for (std::size_t round = 0; round < horizon; ++round) {
+        util::Rng rng = stream_rng(seed, StreamId::kArrival, round);
+        per_round[round] = poisson_draw(arrival.rate, rng);
+      }
+      const std::size_t width = std::max<std::size_t>(arrival.burst_width, 1);
+      for (std::size_t b = 0; b < arrival.bursts; ++b) {
+        const std::size_t start =
+            b * horizon / std::max<std::size_t>(arrival.bursts, 1);
+        for (std::size_t i = 0; i < arrival.burst_size; ++i) {
+          const std::size_t round = std::min(start + i % width, horizon - 1);
+          ++per_round[round];
+        }
+      }
+      for (std::size_t round = 0; round < horizon; ++round) {
+        rounds.insert(rounds.end(), per_round[round], round);
+      }
+      break;
+    }
+  }
+  return rounds;
+}
+
+}  // namespace
+
+EventStream generate_stream(const WorkloadConfig& config,
+                            const TrafficShape& shape,
+                            std::uint64_t base_seed) {
+  validate(config, shape);
+  EventStream stream;
+
+  // --- Publications: arrival round × popularity topic × publisher rank. ----
+  const std::vector<std::size_t> rounds =
+      arrival_rounds(config.arrival, base_seed);
+  std::vector<double> cdf;
+  if (config.popularity.kind == PopularityKind::kZipf) {
+    cdf = zipf_cdf(shape.topic_count, config.popularity.zipf_s);
+  }
+  for (std::size_t pub = 0; pub < rounds.size(); ++pub) {
+    TrafficEvent event;
+    event.kind = TrafficEvent::Kind::kPublish;
+    event.round = rounds[pub];
+    switch (config.popularity.kind) {
+      case PopularityKind::kSingle:
+        event.topic = shape.publish_topic;
+        break;
+      case PopularityKind::kUniform: {
+        util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
+        event.topic = static_cast<std::uint32_t>(rng.below(shape.topic_count));
+        break;
+      }
+      case PopularityKind::kZipf: {
+        util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
+        const double u = rng.uniform01();
+        event.topic = static_cast<std::uint32_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        break;
+      }
+    }
+    event.actor = stream_rng(base_seed, StreamId::kPublisher, pub)();
+    stream.push_back(event);
+  }
+
+  // --- Churn: one stream cell per initial process. -------------------------
+  const std::size_t horizon = std::max<std::size_t>(config.arrival.horizon, 1);
+  if (config.churn.crash_fraction > 0.0 || config.churn.leave_fraction > 0.0) {
+    for (std::size_t p = 0; p < shape.initial_processes; ++p) {
+      util::Rng rng = stream_rng(base_seed, StreamId::kChurn, p);
+      // Fixed draw order per process (crash coin, crash round, leave coin,
+      // leave round) so the crash knobs never perturb the leave schedule.
+      const bool crashes = rng.bernoulli(config.churn.crash_fraction);
+      const std::size_t crash_round = rng.below(horizon);
+      const bool leaves = rng.bernoulli(config.churn.leave_fraction);
+      const std::size_t leave_round = rng.below(horizon);
+      if (crashes && config.churn.crash_length > 0) {
+        TrafficEvent event;
+        event.kind = TrafficEvent::Kind::kCrash;
+        event.round = crash_round;
+        event.actor = p;
+        event.length = config.churn.crash_length;
+        stream.push_back(event);
+      }
+      if (leaves) {
+        TrafficEvent event;
+        event.kind = TrafficEvent::Kind::kLeave;
+        event.round = leave_round;
+        event.actor = p;
+        stream.push_back(event);
+      }
+    }
+  }
+
+  // --- Joins: fresh subscribers, uniformly placed. -------------------------
+  for (std::size_t j = 0; j < config.churn.joins; ++j) {
+    util::Rng rng = stream_rng(base_seed, StreamId::kJoin, j);
+    TrafficEvent event;
+    event.kind = TrafficEvent::Kind::kJoin;
+    event.round = rng.below(horizon);
+    event.topic = static_cast<std::uint32_t>(rng.below(shape.topic_count));
+    event.actor = j;
+    stream.push_back(event);
+  }
+
+  // Round-major order; ties broken by kind (joins before publishes) and
+  // then by generation index, which stable_sort preserves.
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TrafficEvent& a, const TrafficEvent& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return stream;
+}
+
+}  // namespace dam::workload

@@ -176,6 +176,54 @@ TEST_F(SystemTest, SingleTopicDegeneratesToFlatGossip) {
   EXPECT_EQ(system.metrics().group(levels_[0]).inter_sent, 0u);
 }
 
+TEST_F(SystemTest, SuperCacheInvalidatedBySpawnGroup) {
+  // send()'s boundary accounting memoizes nearest_nonempty_supergroup per
+  // sender topic. Spawning can turn an empty supergroup non-empty, moving
+  // the structural boundary: with t1 empty, t2's intergroup traffic is
+  // charged to t0 (the nearest populated supergroup and the cached value);
+  // once t1 gains members, the boundary accounting must credit t1. This
+  // test isolates the spawn_group() path — t1 is populated by ONE batch
+  // call and nothing else, so a missing invalidation there cannot be
+  // masked by spawn()'s. With a stale memo, t1.inter_received would stay 0
+  // while t0 keeps absorbing the credit.
+  auto config = wired_config(29);
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy_, config);
+  system.spawn_group(levels_[0], 4);
+  const auto leaves = system.spawn_group(levels_[2], 10);  // wired to t0
+  system.run_rounds(2);
+  system.publish(leaves[0]);
+  system.run_rounds(12);
+  ASSERT_GT(system.metrics().group(levels_[0]).inter_received, 0u)
+      << "cache never warmed; the scenario lost its point";
+  EXPECT_EQ(system.metrics().group(levels_[1]).inter_received, 0u);
+
+  system.spawn_group(levels_[1], 6);  // the only cache-clearing call
+  system.publish(leaves[1]);
+  system.run_rounds(20);
+  EXPECT_GT(system.metrics().group(levels_[1]).inter_received, 0u);
+}
+
+TEST_F(SystemTest, SuperCacheInvalidatedBySingleSpawn) {
+  // Same property, isolating the spawn() path: t1 turns non-empty through
+  // one-at-a-time spawns only.
+  auto config = wired_config(31);
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy_, config);
+  system.spawn_group(levels_[0], 4);
+  const auto leaves = system.spawn_group(levels_[2], 10);
+  system.run_rounds(2);
+  system.publish(leaves[0]);
+  system.run_rounds(12);
+  ASSERT_GT(system.metrics().group(levels_[0]).inter_received, 0u);
+  EXPECT_EQ(system.metrics().group(levels_[1]).inter_received, 0u);
+
+  for (int i = 0; i < 5; ++i) system.spawn(levels_[1]);  // only spawn()
+  system.publish(leaves[1]);
+  system.run_rounds(20);
+  EXPECT_GT(system.metrics().group(levels_[1]).inter_received, 0u);
+}
+
 TEST_F(SystemTest, DeterministicForSameSeed) {
   auto run = [&](std::uint64_t seed) {
     DamSystem system(hierarchy_, wired_config(seed));

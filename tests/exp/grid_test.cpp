@@ -122,6 +122,42 @@ TEST(GridApply, RaisingAAboveZGrowsTheTable) {
   EXPECT_EQ(other.params[0].z, 8u);
 }
 
+TEST(GridApply, FaninRebuildsAMultiParentDag) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 100, 1000});
+  apply_grid_point(scenario, {{"fanin", 3.0}});
+  // One bottom topic B under 3 disjoint parents, bottom size kept,
+  // parents a tenth of it (floor 10).
+  ASSERT_EQ(scenario.topic_names.size(), 4u);
+  EXPECT_EQ(scenario.topic_names[3], "B");
+  EXPECT_EQ(scenario.group_sizes,
+            (std::vector<std::size_t>{100, 100, 100, 1000}));
+  EXPECT_EQ(scenario.publish_topic, 3u);
+  ASSERT_EQ(scenario.super_edges.size(), 3u);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(scenario.super_edges[p],
+              (std::pair<std::uint32_t, std::uint32_t>{3, p}));
+  }
+  // The rebuilt shape must be a valid DAG the frozen engine accepts.
+  const topics::TopicDag dag = scenario.build_dag();
+  EXPECT_EQ(dag.size(), 4u);
+}
+
+TEST(GridApply, FaninOneIsASingleParentAndSmallBottomsFloorAtTen) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {30});
+  apply_grid_point(scenario, {{"fanin", 1.0}});
+  EXPECT_EQ(scenario.group_sizes, (std::vector<std::size_t>{10, 30}));
+  EXPECT_EQ(scenario.super_edges.size(), 1u);
+}
+
+TEST(GridApply, FaninRejectsOutOfDomain) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  EXPECT_THROW(apply_grid_point(scenario, {{"fanin", 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"fanin", 65.0}}),
+               std::invalid_argument);
+}
+
 TEST(GridApply, DepthRebuildsALinearHierarchy) {
   sim::Scenario scenario =
       sim::make_linear_scenario("grid", "grid", {10, 100, 1000});

@@ -194,17 +194,43 @@ TEST(BenchReport, DocumentCarriesTheV1Schema) {
         "\"events\":", "\"events_per_sec\":", "\"points\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
-  // Per-point and per-group aggregates.
+  // Per-point and per-group aggregates (including the dynamic-lane and
+  // bootstrap-lane blocks, emitted with zero samples on frozen sweeps).
   for (const char* key :
        {"\"alive\":", "\"total_messages\":", "\"rounds\":", "\"groups\":",
         "\"topic\":", "\"size\":", "\"intra_sent\":", "\"inter_sent\":",
         "\"inter_received\":", "\"delivery_ratio\":",
         "\"duplicate_deliveries\":", "\"all_alive_delivered\":",
-        "\"any_inter_received\":", "\"reliability_trials\":", "\"mean\":",
-        "\"ci95\":", "\"min\":", "\"max\":", "\"count\":"}) {
+        "\"any_inter_received\":", "\"reliability_trials\":",
+        "\"publications\":", "\"event_reliability\":",
+        "\"delivery_latency\":", "\"max_latency\":", "\"control_messages\":",
+        "\"rounds_to_link\":", "\"linked_fraction\":", "\"control_at_link\":",
+        "\"first_round\":", "\"last_round\":", "\"control_sent\":",
+        "\"mean\":", "\"ci95\":", "\"min\":", "\"max\":", "\"count\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_NE(json.find("\"grid\":{\"a\":2}"), std::string::npos);
+}
+
+TEST(BenchReport, DynamicSweepEmitsValidJsonWithTrafficAggregates) {
+  const sim::Scenario* preset = sim::find_scenario("zipf-storm");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 2;
+  scenario.alive_sweep = {1.0};
+  BenchReport report;
+  report.add("zipf-storm", {}, tiny_sweep(scenario));
+  std::ostringstream out;
+  report.write(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // The dynamic lane actually filled the traffic aggregates: the
+  // publications block must carry a non-zero count.
+  const std::size_t at = json.find("\"publications\":{");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t count = json.find("\"count\":", at);
+  ASSERT_NE(count, std::string::npos);
+  EXPECT_NE(json[count + 8], '0');
 }
 
 TEST(BenchReport, EscapesHostileStrings) {

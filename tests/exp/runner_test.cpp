@@ -47,7 +47,28 @@ void expect_identical(const SweepResult& a, const SweepResult& b) {
                 gb.any_inter_received.successes);
       EXPECT_EQ(ga.duplicate_deliveries.mean(),
                 gb.duplicate_deliveries.mean());
+      EXPECT_EQ(ga.first_delivery_round.count(),
+                gb.first_delivery_round.count());
+      EXPECT_EQ(ga.first_delivery_round.mean(),
+                gb.first_delivery_round.mean());
+      EXPECT_EQ(ga.last_delivery_round.mean(), gb.last_delivery_round.mean());
+      EXPECT_EQ(ga.control_sent.mean(), gb.control_sent.mean());
     }
+    // Dynamic-lane aggregates (zero samples on frozen sweeps, but they
+    // must still merge identically).
+    EXPECT_EQ(pa.publications.count(), pb.publications.count());
+    EXPECT_EQ(pa.publications.mean(), pb.publications.mean());
+    EXPECT_EQ(pa.event_reliability.mean(), pb.event_reliability.mean());
+    EXPECT_EQ(pa.event_reliability.variance(),
+              pb.event_reliability.variance());
+    EXPECT_EQ(pa.delivery_latency.mean(), pb.delivery_latency.mean());
+    EXPECT_EQ(pa.delivery_latency.variance(), pb.delivery_latency.variance());
+    EXPECT_EQ(pa.max_latency.mean(), pb.max_latency.mean());
+    EXPECT_EQ(pa.max_latency.max(), pb.max_latency.max());
+    EXPECT_EQ(pa.control_messages.mean(), pb.control_messages.mean());
+    EXPECT_EQ(pa.rounds_to_link.mean(), pb.rounds_to_link.mean());
+    EXPECT_EQ(pa.linked_fraction.mean(), pb.linked_fraction.mean());
+    EXPECT_EQ(pa.control_at_link.mean(), pb.control_at_link.mean());
   }
 }
 
@@ -80,6 +101,43 @@ TEST(Runner, ChurnScenarioIsAlsoJobsIndependent) {
   scenario.runs = 21;
   expect_identical(run_sweep(scenario, {.jobs = 1}),
                    run_sweep(scenario, {.jobs = 8}));
+}
+
+TEST(Runner, DynamicLaneIsAlsoJobsIndependent) {
+  // The dynamic engine (workload/driver through core/system) runs through
+  // the same sharded reduction; its seeds derive from (base_seed, point,
+  // run) via stream_rng, so the bit-identity guarantee must carry over.
+  const sim::Scenario* preset = sim::find_scenario("zipf-storm");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 5;
+  scenario.alive_sweep = {0.8, 1.0};
+  const SweepResult serial = run_sweep(scenario, {.jobs = 1});
+  expect_identical(serial, run_sweep(scenario, {.jobs = 4}));
+  // And the dynamic lane actually collected dynamic aggregates.
+  EXPECT_GT(serial.points.front().publications.count(), 0u);
+  EXPECT_GT(serial.points.front().delivery_latency.mean(), 0.0);
+  EXPECT_GT(serial.points.front().control_messages.mean(), 0.0);
+}
+
+TEST(Runner, DynamicChurnPresetIsJobsIndependent) {
+  // Joins, leaves and crash/recover all ride the replay; none may depend
+  // on worker identity.
+  const sim::Scenario* preset = sim::find_scenario("churn-subscribe-heavy");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 4;
+  expect_identical(run_sweep(scenario, {.jobs = 1}),
+                   run_sweep(scenario, {.jobs = 8}));
+}
+
+TEST(Runner, DynamicLaneRejectsDagTopologies) {
+  const sim::Scenario* diamond = sim::find_scenario("dag-diamond");
+  ASSERT_NE(diamond, nullptr);
+  sim::Scenario scenario = *diamond;
+  scenario.engine = sim::EngineKind::kDynamic;
+  scenario.runs = 1;
+  EXPECT_THROW((void)run_sweep(scenario, {.jobs = 1}), std::invalid_argument);
 }
 
 TEST(Runner, MoreShardsThanRunsIsFine) {

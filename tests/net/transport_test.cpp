@@ -55,6 +55,54 @@ TEST(Transport, LossAtSendMatchesLossAtDelivery) {
   EXPECT_NEAR(static_cast<double>(delivered) / kMessages, 0.5, 0.02);
 }
 
+TEST(Transport, LossAtSendIsStreamIdenticalToLossAtDelivery) {
+  // Stronger than "same law": with a failure model that consumes no
+  // randomness, the channel coin is flipped once per message in send order
+  // either way (delivery replays a round's batch in send order), so the
+  // two modes must produce the IDENTICAL delivered-message sequence and
+  // identical Stats from the same seed — not merely the same rate.
+  auto run = [](bool loss_at_send) {
+    Transport transport(
+        {.psucc = 0.6, .delay = 1, .loss_at_send = loss_at_send},
+        util::Rng(0xC01), nullptr);
+    std::vector<std::uint32_t> sequence;
+    std::uint32_t next_id = 0;
+    for (sim::Round round = 0; round < 6; ++round) {
+      for (int burst = 0; burst < 40; ++burst) {
+        transport.send(make_msg(0, next_id++), round);
+      }
+      transport.deliver_round(round, [&](const Message& msg) {
+        sequence.push_back(msg.to.value);
+      });
+    }
+    // Flush the tail round.
+    transport.deliver_round(6, [&](const Message& msg) {
+      sequence.push_back(msg.to.value);
+    });
+    return std::make_pair(sequence, transport.stats());
+  };
+  const auto [seq_send, stats_send] = run(true);
+  const auto [seq_delivery, stats_delivery] = run(false);
+  EXPECT_EQ(seq_send, seq_delivery);
+  EXPECT_FALSE(seq_send.empty());
+  EXPECT_LT(seq_send.size(), 240u);  // the coin actually dropped some
+  EXPECT_EQ(stats_send.sent, stats_delivery.sent);
+  EXPECT_EQ(stats_send.delivered, stats_delivery.delivered);
+  EXPECT_EQ(stats_send.lost_channel, stats_delivery.lost_channel);
+  EXPECT_EQ(stats_send.sent,
+            stats_send.delivered + stats_send.lost_channel);
+  EXPECT_EQ(stats_send.bytes_sent, stats_delivery.bytes_sent);
+}
+
+TEST(Transport, LossAtSendKeepsQueueSmall) {
+  // The mode's point: dropped messages never occupy the in-flight queue.
+  Transport at_send({.psucc = 0.0, .delay = 1, .loss_at_send = true},
+                    util::Rng(5), nullptr);
+  for (int i = 0; i < 100; ++i) at_send.send(make_msg(0, 1), 0);
+  EXPECT_TRUE(at_send.idle());
+  EXPECT_EQ(at_send.stats().lost_channel, 100u);
+}
+
 TEST(Transport, FailureModelBlocksDelivery) {
   sim::StillbornFailures failures({ProcessId{1}});
   Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), &failures);

@@ -60,15 +60,51 @@ TEST(Metrics, InfectionsPerRoundGrowsAsNeeded) {
   EXPECT_EQ(per_round[3], 2u);
 }
 
+TEST(Metrics, EventLatencyAggregatesFirstDeliveries) {
+  Metrics metrics;
+  const net::EventId event{topics::ProcessId{3}, 7};
+  metrics.begin_event(event, /*now=*/10);
+  metrics.note_event_delivery(event, 10);  // publisher's own, latency 0
+  metrics.note_event_delivery(event, 12);
+  metrics.note_event_delivery(event, 15);
+  const auto& latencies = metrics.event_latencies();
+  ASSERT_EQ(latencies.size(), 1u);
+  const Metrics::EventLatency& entry = latencies.at(event);
+  EXPECT_EQ(entry.published_at, 10u);
+  EXPECT_EQ(entry.deliveries, 3u);
+  EXPECT_EQ(entry.latency_sum, 0u + 2u + 5u);
+  EXPECT_EQ(entry.max_latency, 5u);
+}
+
+TEST(Metrics, DeliveriesOfUnknownEventsAreIgnored) {
+  Metrics metrics;
+  metrics.note_event_delivery(net::EventId{topics::ProcessId{1}, 1}, 4);
+  EXPECT_TRUE(metrics.event_latencies().empty());
+}
+
+TEST(Metrics, EventsTrackIndependently) {
+  Metrics metrics;
+  const net::EventId a{topics::ProcessId{1}, 0};
+  const net::EventId b{topics::ProcessId{1}, 1};
+  metrics.begin_event(a, 0);
+  metrics.begin_event(b, 5);
+  metrics.note_event_delivery(a, 4);
+  metrics.note_event_delivery(b, 6);
+  EXPECT_EQ(metrics.event_latencies().at(a).latency_sum, 4u);
+  EXPECT_EQ(metrics.event_latencies().at(b).latency_sum, 1u);
+}
+
 TEST(Metrics, ResetClearsEverything) {
   Metrics metrics;
   metrics.group(TopicId{1}).intra_sent = 5;
   metrics.count_parasite_delivery();
   metrics.note_infection(2);
+  metrics.begin_event(net::EventId{topics::ProcessId{1}, 0}, 1);
   metrics.reset();
   EXPECT_EQ(metrics.total_event_messages(), 0u);
   EXPECT_EQ(metrics.parasite_deliveries(), 0u);
   EXPECT_TRUE(metrics.infections_per_round().empty());
+  EXPECT_TRUE(metrics.event_latencies().empty());
 }
 
 }  // namespace

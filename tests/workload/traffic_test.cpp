@@ -1,0 +1,240 @@
+// workload/traffic: the (base_seed, stream, index) purity contract, the
+// three arrival generators, popularity skew, and churn/join traces.
+#include "workload/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace dam::workload {
+namespace {
+
+TrafficShape shape3(std::size_t processes = 100) {
+  TrafficShape shape;
+  shape.topic_count = 3;
+  shape.publish_topic = 2;
+  shape.initial_processes = processes;
+  return shape;
+}
+
+TEST(StreamRng, PureInSeedStreamIndex) {
+  // The same cell always yields the same stream, regardless of what else
+  // was drawn before — there is no hidden global state.
+  util::Rng a = stream_rng(42, StreamId::kArrival, 7);
+  util::Rng scrap = stream_rng(42, StreamId::kChurn, 123);
+  (void)scrap();
+  util::Rng b = stream_rng(42, StreamId::kArrival, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamRng, CellsAreDistinct) {
+  // Neighboring cells along every coordinate decorrelate.
+  const auto first = [](util::Rng rng) { return rng(); };
+  EXPECT_NE(first(stream_rng(1, StreamId::kArrival, 0)),
+            first(stream_rng(2, StreamId::kArrival, 0)));
+  EXPECT_NE(first(stream_rng(1, StreamId::kArrival, 0)),
+            first(stream_rng(1, StreamId::kPopularity, 0)));
+  EXPECT_NE(first(stream_rng(1, StreamId::kArrival, 0)),
+            first(stream_rng(1, StreamId::kArrival, 1)));
+}
+
+TEST(GenerateStream, DeterministicAndSorted) {
+  WorkloadConfig config;
+  config.arrival.kind = ArrivalKind::kPoisson;
+  config.arrival.rate = 0.7;
+  config.arrival.horizon = 20;
+  config.churn.crash_fraction = 0.4;
+  config.churn.leave_fraction = 0.2;
+  config.churn.joins = 15;
+  const EventStream a = generate_stream(config, shape3(), 99);
+  const EventStream b = generate_stream(config, shape3(), 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_EQ(a[i].topic, b[i].topic);
+    EXPECT_EQ(a[i].actor, b[i].actor);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      a.begin(), a.end(), [](const TrafficEvent& x, const TrafficEvent& y) {
+        return x.round < y.round;
+      }));
+  // Within a round, joins come before publishes.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i].round == a[i - 1].round) {
+      EXPECT_LE(static_cast<int>(a[i - 1].kind), static_cast<int>(a[i].kind));
+    }
+  }
+  EXPECT_NE(generate_stream(config, shape3(), 100).size() +
+                publication_count(generate_stream(config, shape3(), 100)),
+            a.size() + publication_count(a))
+      << "different seeds almost surely differ in event counts";
+}
+
+TEST(GenerateStream, ChurnKnobsDoNotPerturbOtherStreams) {
+  // Stream independence: adding churn must not reshuffle the publication
+  // schedule (arrival, topic, publisher draws are separate cells).
+  WorkloadConfig quiet;
+  quiet.arrival.rate = 0.5;
+  quiet.arrival.horizon = 24;
+  quiet.popularity.kind = PopularityKind::kZipf;
+  WorkloadConfig churny = quiet;
+  churny.churn.crash_fraction = 0.8;
+  churny.churn.leave_fraction = 0.3;
+  churny.churn.joins = 40;
+  const EventStream a = generate_stream(quiet, shape3(), 7);
+  const EventStream b = generate_stream(churny, shape3(), 7);
+  std::vector<TrafficEvent> pubs_a;
+  std::vector<TrafficEvent> pubs_b;
+  for (const TrafficEvent& event : a) {
+    if (event.kind == TrafficEvent::Kind::kPublish) pubs_a.push_back(event);
+  }
+  for (const TrafficEvent& event : b) {
+    if (event.kind == TrafficEvent::Kind::kPublish) pubs_b.push_back(event);
+  }
+  ASSERT_EQ(pubs_a.size(), pubs_b.size());
+  for (std::size_t i = 0; i < pubs_a.size(); ++i) {
+    EXPECT_EQ(pubs_a[i].round, pubs_b[i].round);
+    EXPECT_EQ(pubs_a[i].topic, pubs_b[i].topic);
+    EXPECT_EQ(pubs_a[i].actor, pubs_b[i].actor);
+  }
+}
+
+TEST(GenerateStream, ScheduledArrivalsAreEvenlySpaced) {
+  WorkloadConfig config;
+  config.arrival.kind = ArrivalKind::kScheduled;
+  config.arrival.count = 4;
+  config.arrival.horizon = 40;
+  const EventStream stream = generate_stream(config, shape3(), 1);
+  ASSERT_EQ(stream.size(), 4u);
+  EXPECT_EQ(stream[0].round, 0u);
+  EXPECT_EQ(stream[1].round, 10u);
+  EXPECT_EQ(stream[2].round, 20u);
+  EXPECT_EQ(stream[3].round, 30u);
+  for (const TrafficEvent& event : stream) {
+    EXPECT_EQ(event.kind, TrafficEvent::Kind::kPublish);
+    EXPECT_EQ(event.topic, 2u);  // kSingle popularity -> publish topic
+  }
+}
+
+TEST(GenerateStream, PoissonRateMatchesMean) {
+  WorkloadConfig config;
+  config.arrival.kind = ArrivalKind::kPoisson;
+  config.arrival.rate = 1.5;
+  config.arrival.horizon = 2000;
+  const EventStream stream = generate_stream(config, shape3(), 3);
+  const double mean =
+      static_cast<double>(publication_count(stream)) / 2000.0;
+  EXPECT_NEAR(mean, 1.5, 0.1);
+}
+
+TEST(GenerateStream, FlashcrowdConcentratesBursts) {
+  WorkloadConfig config;
+  config.arrival.kind = ArrivalKind::kFlashcrowd;
+  config.arrival.rate = 0.0;  // no background: bursts only
+  config.arrival.horizon = 30;
+  config.arrival.bursts = 3;
+  config.arrival.burst_size = 12;
+  config.arrival.burst_width = 2;
+  const EventStream stream = generate_stream(config, shape3(), 5);
+  EXPECT_EQ(publication_count(stream), 36u);
+  std::map<std::size_t, std::size_t> per_round;
+  for (const TrafficEvent& event : stream) ++per_round[event.round];
+  // Bursts start at rounds 0, 10, 20 and span burst_width rounds.
+  for (const std::size_t start : {0u, 10u, 20u}) {
+    EXPECT_EQ(per_round[start] + per_round[start + 1], 12u);
+  }
+}
+
+TEST(GenerateStream, ZipfSkewsTowardLowRanks) {
+  WorkloadConfig config;
+  config.arrival.kind = ArrivalKind::kPoisson;
+  config.arrival.rate = 2.0;
+  config.arrival.horizon = 1000;
+  config.popularity.kind = PopularityKind::kZipf;
+  config.popularity.zipf_s = 1.2;
+  const EventStream stream = generate_stream(config, shape3(), 11);
+  std::size_t counts[3] = {0, 0, 0};
+  for (const TrafficEvent& event : stream) {
+    if (event.kind == TrafficEvent::Kind::kPublish) ++counts[event.topic];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(ZipfCdf, NormalizedAndMonotone) {
+  const std::vector<double> cdf = zipf_cdf(5, 1.0);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GT(cdf[i], cdf[i - 1]);
+  // s = 0 degenerates to uniform.
+  const std::vector<double> uniform = zipf_cdf(4, 0.0);
+  EXPECT_NEAR(uniform[0], 0.25, 1e-12);
+  EXPECT_NEAR(uniform[1], 0.50, 1e-12);
+}
+
+TEST(PoissonDraw, ZeroRateAndDeterminism) {
+  util::Rng rng(1);
+  EXPECT_EQ(poisson_draw(0.0, rng), 0u);
+  EXPECT_EQ(poisson_draw(-3.0, rng), 0u);
+  util::Rng a(77);
+  util::Rng b(77);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(poisson_draw(2.5, a), poisson_draw(2.5, b));
+}
+
+TEST(GenerateStream, ChurnEventsStayInDomain) {
+  WorkloadConfig config;
+  config.arrival.horizon = 10;
+  config.arrival.rate = 0.0;
+  config.churn.crash_fraction = 1.0;
+  config.churn.crash_length = 3;
+  config.churn.leave_fraction = 1.0;
+  config.churn.joins = 7;
+  const EventStream stream = generate_stream(config, shape3(20), 13);
+  std::size_t crashes = 0;
+  std::size_t leaves = 0;
+  std::size_t joins = 0;
+  for (const TrafficEvent& event : stream) {
+    EXPECT_LT(event.round, 10u);
+    switch (event.kind) {
+      case TrafficEvent::Kind::kCrash:
+        ++crashes;
+        EXPECT_LT(event.actor, 20u);
+        EXPECT_EQ(event.length, 3u);
+        break;
+      case TrafficEvent::Kind::kLeave:
+        ++leaves;
+        EXPECT_LT(event.actor, 20u);
+        break;
+      case TrafficEvent::Kind::kJoin:
+        ++joins;
+        EXPECT_LT(event.topic, 3u);
+        break;
+      default:
+        ADD_FAILURE() << "unexpected publish with rate 0";
+    }
+  }
+  EXPECT_EQ(crashes, 20u);
+  EXPECT_EQ(leaves, 20u);
+  EXPECT_EQ(joins, 7u);
+}
+
+TEST(GenerateStream, RejectsBadKnobs) {
+  WorkloadConfig config;
+  TrafficShape shape = shape3();
+  config.arrival.rate = -1.0;
+  EXPECT_THROW(generate_stream(config, shape, 1), std::invalid_argument);
+  config.arrival.rate = 0.5;
+  config.churn.crash_fraction = 1.5;
+  EXPECT_THROW(generate_stream(config, shape, 1), std::invalid_argument);
+  config.churn.crash_fraction = 0.0;
+  shape.topic_count = 0;
+  EXPECT_THROW(generate_stream(config, shape, 1), std::invalid_argument);
+  shape.topic_count = 3;
+  shape.publish_topic = 3;
+  EXPECT_THROW(generate_stream(config, shape, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dam::workload

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   args.add_option("jobs", "0", "worker threads (0 = hardware concurrency)");
   args.add_option("grid", "",
                   "parameter grid, e.g. \"a=1:4 g=5,10 psucc=0.5:0.9:0.2\" "
-                  "(keys: a b c g psucc tau z alive scale depth runs)");
+                  "(keys: a b c g psucc tau z alive scale depth fanin runs)");
   args.add_option("runs", "0", "override runs per sweep point (0 = preset)");
   args.add_option("shards", "32",
                   "shards per sweep point (fixed reduction shape; advanced)");
