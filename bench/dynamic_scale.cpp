@@ -1,0 +1,98 @@
+// The dynamic (message-passing) engine at the million-process north star.
+//
+// Wraps the giant-dynamic preset — one group, one scheduled publication,
+// short drain — scaled by --scale (default 10, i.e. S = 10⁶), and proves
+// the run completes inside a wall budget. Before spawn_group sampled every
+// initial view into one shared CSR arena (core::GroupViewArena), the
+// dynamic lane topped out around 10⁴–10⁵ processes; this bench is the
+// regression gate that keeps the million-process run feasible.
+//
+//   bench_dynamic_scale [--scale=10] [--runs=1] [--jobs=1]
+//                       [--budget=900] [--json=out.json]
+//
+// --budget is the wall limit in seconds for the WHOLE sweep (0 disables
+// the check); the process exits 1 when it is exceeded, so CI can gate on
+// it directly. The JSON document is the standard damlab-bench-v1 schema,
+// with peak_table_bytes reporting the view-arena footprint.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exp/grid.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "sim/scenario.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dam;
+  util::ArgParser args(
+      "bench_dynamic_scale — giant-dynamic preset under a wall budget");
+  args.add_option("scale", "10", "group-size multiplier (10 -> S = 1e6)");
+  args.add_option("runs", "1", "engine runs");
+  args.add_option("jobs", "1", "worker threads (runs overlap at >1)");
+  args.add_option("budget", "900",
+                  "wall budget in seconds for the whole sweep (0 = off)");
+  args.add_option("json", "", "write the damlab-bench-v1 document here");
+  try {
+    args.parse(argc, argv);
+  } catch (const util::ArgError& error) {
+    std::cerr << "bench_dynamic_scale: " << error.what() << "\n";
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.help_text();
+    return 0;
+  }
+
+  const double scale = args.real("scale");
+  const double budget = args.real("budget");
+  const sim::Scenario* preset = sim::find_scenario("giant-dynamic");
+  if (preset == nullptr) {
+    std::cerr << "bench_dynamic_scale: giant-dynamic preset missing\n";
+    return 2;
+  }
+  sim::Scenario scenario = *preset;
+  scenario.runs = static_cast<int>(args.integer("runs"));
+  const exp::GridPoint cell{{"scale", scale}};
+  exp::apply_grid_point(scenario, cell);
+
+  exp::RunnerOptions options;
+  options.jobs = static_cast<unsigned>(args.integer("jobs"));
+  const exp::SweepResult sweep = exp::run_sweep(scenario, options);
+
+  const double mib = static_cast<double>(sweep.peak_table_bytes) /
+                     (1024.0 * 1024.0);
+  util::ConsoleTable table({"S", "runs", "wall", "spawn (sum)",
+                            "replay (sum)", "arena MiB", "reliab",
+                            "events/sec"});
+  table.row_strings(
+      {std::to_string(scenario.group_sizes[0]), std::to_string(sweep.total_runs),
+       util::fixed(sweep.wall_seconds, 1) + "s",
+       util::fixed(sweep.table_build_seconds, 1) + "s",
+       util::fixed(sweep.dissemination_seconds, 1) + "s",
+       util::fixed(mib, 1),
+       util::fixed(sweep.points[0].event_reliability.mean(), 4),
+       util::fixed(sweep.wall_seconds > 0.0
+                       ? static_cast<double>(sweep.total_events) /
+                             sweep.wall_seconds
+                       : 0.0,
+                   0)});
+  std::cout << "\n=== dynamic engine at scale (giant-dynamic x "
+            << util::fixed(scale, 0) << ") ===\n\n";
+  table.print(std::cout);
+
+  if (!args.str("json").empty()) {
+    exp::BenchReport report;
+    report.add(scenario.name, cell, sweep);
+    report.write_file(args.str("json"));
+  }
+
+  if (budget > 0.0 && sweep.wall_seconds > budget) {
+    std::cerr << "bench_dynamic_scale: wall " << sweep.wall_seconds
+              << "s exceeded the budget of " << budget << "s\n";
+    return 1;
+  }
+  return 0;
+}

@@ -83,7 +83,10 @@ int main(int argc, char** argv) {
         hier_config.group_count, 1110 / hier_config.group_count,
         hier_config.c1, hier_config.c2);
 
-    const std::string level_name = "T" + std::to_string(level);
+    // Built with += rather than operator+ to sidestep GCC's -Wrestrict
+    // false positive on inlined string concatenation (GCC bug 105329).
+    std::string level_name = "T";
+    level_name += std::to_string(level);
     table.row(level_name, util::fixed(dam.mean(), 0),
               util::fixed(dam_pred, 0), util::fixed(mcast.mean(), 0),
               util::fixed(mcast_pred, 0), util::fixed(bcast.mean(), 0),

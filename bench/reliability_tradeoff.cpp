@@ -56,13 +56,20 @@ int main(int argc, char** argv) {
     const double hier_probe = (std::max(hier_lo, 0.0) + hier_hi) / 2.0;
     const double hier_z =
         analysis::z_bound_vs_hierarchical(N, t, hier_probe, hop);
+    // Built with += rather than operator+ to sidestep GCC's -Wrestrict
+    // false positive on inlined string concatenation (GCC bug 105329).
+    std::string hier_band = "[";
+    hier_band += util::fixed(hier_lo, 2);
+    hier_band += ", ";
+    hier_band += util::fixed(hier_hi, 2);
+    hier_band += "]";
+    std::string hier_cell = util::fixed(hier_z, 2);
+    hier_cell += " (c=";
+    hier_cell += util::fixed(hier_probe, 1);
+    hier_cell += ")";
     bands.row(util::fixed(hop, 4), util::fixed(mcast_c, 2),
               maybe(mcast_c, mcast_z), util::fixed(bcast_c, 2),
-              maybe(bcast_c, bcast_z),
-              "[" + util::fixed(hier_lo, 2) + ", " + util::fixed(hier_hi, 2) +
-                  "]",
-              util::fixed(hier_z, 2) + " (c=" + util::fixed(hier_probe, 1) +
-                  ")");
+              maybe(bcast_c, bcast_z), hier_band, hier_cell);
     csv.row(hop, mcast_c, mcast_z, bcast_c, bcast_z, hier_lo, hier_hi,
             hier_z);
   }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/params.hpp"
+#include "core/tables.hpp"
 #include "topics/dag.hpp"
 #include "util/rng.hpp"
 
@@ -89,46 +90,10 @@ struct FrozenSimConfig {
   TableBuild table_build = TableBuild::kLegacy;
 };
 
-/// Flat CSR membership arena for one group — the frozen tables of every
-/// process, packed into two contiguous uint32 buffers instead of S (or
-/// S×parents) little heap vectors:
-///   * topic-table row of process i:
-///       topic_entries[topic_offsets[i] .. topic_offsets[i+1])
-///   * supertopic table of (process i, parent slot s), slots aligned with
-///     TopicDag::supers():
-///       super_entries[super_offsets[i*parent_count + s] ..
-///                     super_offsets[i*parent_count + s + 1])
-/// Peak memory is the O(S·k) arena itself; construction allocates nothing
-/// per process.
-struct GroupTables {
-  std::size_t size = 0;
-  std::size_t parent_count = 0;
-  std::vector<std::uint32_t> topic_offsets;  ///< size + 1
-  std::vector<std::uint32_t> topic_entries;
-  std::vector<std::uint32_t> super_offsets;  ///< size * parent_count + 1
-  std::vector<std::uint32_t> super_entries;
-  std::vector<bool> alive;  ///< stillborn regime; all-true otherwise
-
-  [[nodiscard]] std::span<const std::uint32_t> topic_row(
-      std::size_t process) const {
-    return {topic_entries.data() + topic_offsets[process],
-            topic_entries.data() + topic_offsets[process + 1]};
-  }
-
-  [[nodiscard]] std::span<const std::uint32_t> super_row(
-      std::size_t process, std::size_t slot) const {
-    const std::size_t row = process * parent_count + slot;
-    return {super_entries.data() + super_offsets[row],
-            super_entries.data() + super_offsets[row + 1]};
-  }
-
-  /// Bytes held by the four flat buffers (the membership footprint).
-  [[nodiscard]] std::size_t arena_bytes() const noexcept {
-    return (topic_offsets.capacity() + topic_entries.capacity() +
-            super_offsets.capacity() + super_entries.capacity()) *
-           sizeof(std::uint32_t);
-  }
-};
+// The CSR membership arena itself (core::GroupTables) lives in
+// core/tables.hpp since the dynamic engine shares the layout — this header
+// keeps the frozen-lane aggregates over it. Slots of super_row align with
+// TopicDag::supers().
 
 /// The frozen tables of every group, indexed by DagTopicId::value.
 struct FrozenTables {

@@ -45,6 +45,24 @@ void DamNode::subscribe(const std::vector<ProcessId>& group_contacts,
   }
 }
 
+void DamNode::subscribe_shared(std::span<const ProcessId> group_contacts,
+                               std::span<const ProcessId> super_contacts,
+                               std::optional<TopicId> super_contacts_topic) {
+  subscribed_ = true;
+  membership_.adopt(group_contacts);
+  if (is_root()) return;
+  if (!super_contacts.empty()) {
+    // A sampled arena row is exactly what subscribe()'s merge would have
+    // installed into the empty table (distinct, no owner, at most z
+    // entries) — adopt it in place.
+    super_table_.seed(super_contacts_topic.value_or(hierarchy_->super(topic_)),
+                      super_contacts);
+  } else {
+    bootstrap_.start(env_->now(), env_->neighborhood(self_),
+                     [this](Message&& msg) { env_->send(std::move(msg)); });
+  }
+}
+
 EventId DamNode::publish(std::vector<std::uint8_t> payload) {
   const EventId event{self_, next_sequence_++};
   // The publisher "receives" its own event: mark seen, deliver locally,
@@ -174,7 +192,8 @@ void DamNode::handle_req_contact(const Message& msg) {
       known.insert(known.end(), extra.begin(), extra.end());
     } else if (super_table_.super_topic() == searched &&
                !super_table_.empty()) {
-      known = super_table_.entries();
+      const auto table = super_table_.entries();
+      known.assign(table.begin(), table.end());
     }
     if (known.empty()) continue;
     if (known.size() > config_.params.z) known.resize(config_.params.z);

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -99,6 +101,16 @@ class DamNode {
   void subscribe(const std::vector<ProcessId>& group_contacts,
                  const std::vector<ProcessId>& super_contacts = {},
                  std::optional<TopicId> super_contacts_topic = std::nullopt);
+
+  /// subscribe() for an arena-backed spawn batch (DamSystem::spawn_group):
+  /// the contact rows live in an immutable core::GroupViewArena, and the
+  /// topic view / supertopic table read them in place (shared base with a
+  /// copy-on-churn overlay) instead of copying into per-node vectors.
+  /// Behavior- and RNG-stream-identical to subscribe() on the same rows;
+  /// the rows must stay pinned while the node lives (DamSystem owns both).
+  void subscribe_shared(std::span<const ProcessId> group_contacts,
+                        std::span<const ProcessId> super_contacts,
+                        std::optional<TopicId> super_contacts_topic);
 
   /// Publishes a fresh event of this node's topic; returns its id.
   /// `payload` is opaque application data carried to every subscriber.

@@ -79,6 +79,15 @@ void for_each_intergroup_target(const TopicParams& params,
 /// The intra-group gossip leg (Fig. 7 lines 8–14): fanout(S) = ceil(ln S
 /// + c) distinct targets drawn uniformly from the topic table without
 /// replacement. Returns fewer when the table is smaller than the fanout.
+/// The span form reads CSR arena rows / shared views without materializing
+/// a vector first.
+template <typename Entry>
+[[nodiscard]] std::vector<Entry> fanout_targets(
+    const TopicParams& params, std::size_t group_size,
+    std::span<const Entry> topic_table, util::Rng& rng) {
+  return rng.sample(topic_table, params.fanout(group_size));
+}
+
 template <typename Entry>
 [[nodiscard]] std::vector<Entry> fanout_targets(
     const TopicParams& params, std::size_t group_size,

@@ -33,7 +33,11 @@ StaticRunResult run_static_simulation(const StaticSimConfig& config) {
   std::vector<topics::DagTopicId> ids;
   ids.reserve(levels);
   for (std::size_t level = 0; level < levels; ++level) {
-    ids.push_back(dag.add_topic("L" + std::to_string(level)));
+    // Built with += rather than operator+ to sidestep GCC's -Wrestrict
+    // false positive on inlined string concatenation (GCC bug 105329).
+    std::string name = "L";
+    name += std::to_string(level);
+    ids.push_back(dag.add_topic(name));
     if (level > 0) dag.add_super(ids[level], ids[level - 1]);
   }
 

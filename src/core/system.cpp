@@ -1,6 +1,8 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <span>
 
 namespace dam::core {
 
@@ -89,8 +91,43 @@ std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
   if (config_.auto_wire_super_tables) {
     super_topic = registry_.nearest_nonempty_supergroup(topic);
   }
+  // Super-contact candidate pool, copied once per batch; sample_with_undo
+  // borrows and restores it per joiner — the same draws the historical
+  // per-joiner rng_.sample over the live supergroup vector made (that
+  // vector cannot change while the batch only grows `topic`).
+  std::vector<ProcessId> super_pool;
+  std::size_t super_width = 0;
+  if (super_topic) {
+    super_pool = registry_.group(*super_topic);
+    super_width = std::min(config_.node.params.z, super_pool.size());
+  }
 
-  std::vector<ProcessId> contacts;
+  // The batch's initial view rows go into one immutable CSR arena that
+  // every joiner reads through spans. Row widths are a pure function of
+  // (params, group sizes), so the arena is fully laid out before any draw
+  // and never reallocates while nodes hold spans into it.
+  const std::size_t initial = candidates.size();
+  auto arena = std::make_unique<GroupViewArena>();
+  arena->size = count;
+  arena->parent_count = super_topic ? 1 : 0;
+  arena->topic_offsets.reserve(count + 1);
+  arena->topic_offsets.push_back(0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t view =
+        config_.node.params.view_capacity(initial + i + 1);
+    const std::size_t row = std::min(view, initial + i);
+    arena->topic_offsets.push_back(arena->topic_offsets.back() +
+                                   static_cast<std::uint32_t>(row));
+  }
+  arena->topic_entries.resize(arena->topic_offsets.back());
+  arena->super_offsets.reserve(count * arena->parent_count + 1);
+  arena->super_offsets.push_back(0);
+  for (std::size_t i = 0; i < count * arena->parent_count; ++i) {
+    arena->super_offsets.push_back(arena->super_offsets.back() +
+                                   static_cast<std::uint32_t>(super_width));
+  }
+  arena->super_entries.resize(arena->super_offsets.back());
+
   for (std::size_t i = 0; i < count; ++i) {
     const ProcessId id = registry_.add_process(topic);
     ids.push_back(id);
@@ -102,20 +139,27 @@ std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
                                           group_size, rng_.fork(id.value),
                                           this);
     const std::size_t view = config_.node.params.view_capacity(group_size);
-    contacts.resize(std::min(view, candidates.size()));
+    ProcessId* row = arena->topic_entries.data() + arena->topic_offsets[i];
     const std::size_t drawn = rng_.sample_with_undo(
-        std::span<ProcessId>(candidates), view, contacts.data());
-    contacts.resize(drawn);
+        std::span<ProcessId>(candidates), view, row);
+    // The sampler must fill exactly the precomputed row, or later rows
+    // would shear against their offsets.
+    assert(drawn == arena->topic_offsets[i + 1] - arena->topic_offsets[i]);
+    const std::span<const ProcessId> contacts(row, drawn);
 
-    std::vector<ProcessId> super_contacts;
+    std::span<const ProcessId> super_contacts;
     if (super_topic) {
-      super_contacts =
-          rng_.sample(registry_.group(*super_topic), config_.node.params.z);
+      ProcessId* super_row =
+          arena->super_entries.data() + arena->super_offsets[i];
+      rng_.sample_with_undo(std::span<ProcessId>(super_pool),
+                            config_.node.params.z, super_row);
+      super_contacts = {super_row, super_width};
     }
     nodes_.push_back(std::move(node));
-    nodes_.back()->subscribe(contacts, super_contacts, super_topic);
+    nodes_.back()->subscribe_shared(contacts, super_contacts, super_topic);
     candidates.push_back(id);  // visible to the next joiner
   }
+  view_arenas_.push_back(std::move(arena));
   super_cache_.clear();
 
   // One estimate refresh for every member, once per batch.

@@ -56,6 +56,14 @@ class DamSystem final : public Env {
   /// identical to `count` calls to spawn(): each joiner samples its
   /// contacts from the members present at its own join, never from later
   /// batch members.
+  ///
+  /// View memory: the batch's initial topic-table and supertopic-table
+  /// rows are sampled straight into one immutable core::GroupViewArena
+  /// (CSR layout, laid out before any draw so it never reallocates), and
+  /// every node reads its rows through spans — zero per-node view
+  /// allocation at spawn. Later churn (gossip merges, evictions, capacity
+  /// shrinks) lands in small per-node copy-on-churn overlays; the arena
+  /// itself is never written again.
   std::vector<ProcessId> spawn_group(TopicId topic, std::size_t count);
 
   /// Installs a failure model (defaults to NoFailures). The system keeps
@@ -119,6 +127,22 @@ class DamSystem final : public Env {
     return *failures_;
   }
 
+  /// The immutable spawn-batch view arenas, in spawn_group order. Tests
+  /// diff per-node overlays against these base rows.
+  [[nodiscard]] const std::vector<std::unique_ptr<GroupViewArena>>&
+  view_arenas() const noexcept {
+    return view_arenas_;
+  }
+
+  /// Contiguous bytes held by the spawn-batch view arenas — the dynamic
+  /// lane's peak_table_bytes measurand (the shared base of every
+  /// batch-spawned node's views; overlays are per-node and excluded).
+  [[nodiscard]] std::size_t view_arena_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& arena : view_arenas_) total += arena->arena_bytes();
+    return total;
+  }
+
   /// Processes that delivered `event` so far.
   [[nodiscard]] const std::unordered_set<ProcessId>& delivered_set(
       net::EventId event) const;
@@ -147,6 +171,9 @@ class DamSystem final : public Env {
   sim::EventQueue timers_;
   sim::Metrics metrics_;
   std::vector<std::unique_ptr<DamNode>> nodes_;
+  /// Spawn-batch view arenas; nodes hold spans into them, so the
+  /// unique_ptr indirection keeps rows pinned as more batches arrive.
+  std::vector<std::unique_ptr<GroupViewArena>> view_arenas_;
   DeliveryHandler delivery_handler_;
   sim::TraceRecorder* trace_ = nullptr;
   std::unordered_map<net::EventId, std::unordered_set<ProcessId>> deliveries_;

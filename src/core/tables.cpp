@@ -5,12 +5,27 @@
 namespace dam::core {
 
 bool SuperTopicTable::contains(ProcessId p) const noexcept {
-  return std::find(entries_.begin(), entries_.end(), p) != entries_.end();
+  const auto current = entries();
+  return std::find(current.begin(), current.end(), p) != current.end();
+}
+
+void SuperTopicTable::seed(TopicId topic, std::span<const ProcessId> base) {
+  super_topic_ = topic;
+  base_ = base;
+  shared_ = true;
+  entries_.clear();
+}
+
+void SuperTopicTable::materialize() {
+  if (!shared_) return;
+  entries_.assign(base_.begin(), base_.end());
+  shared_ = false;
 }
 
 void SuperTopicTable::merge(TopicId topic, const std::vector<ProcessId>& fresh,
                             const std::function<bool(ProcessId)>& alive,
                             bool replace) {
+  materialize();
   if (replace || !super_topic_ || *super_topic_ != topic) {
     entries_.clear();
   }
@@ -28,13 +43,17 @@ void SuperTopicTable::merge(TopicId topic, const std::vector<ProcessId>& fresh,
 
 std::size_t SuperTopicTable::check(
     const std::function<bool(ProcessId)>& alive) const {
+  const auto current = entries();
   return static_cast<std::size_t>(
-      std::count_if(entries_.begin(), entries_.end(),
+      std::count_if(current.begin(), current.end(),
                     [&](ProcessId p) { return alive(p); }));
 }
 
 std::size_t SuperTopicTable::drop_failed(
     const std::function<bool(ProcessId)>& alive) {
+  // Nothing failed -> nothing to drop; the shared base stays shared.
+  if (check(alive) == size()) return 0;
+  materialize();
   const std::size_t before = entries_.size();
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
                                 [&](ProcessId p) { return !alive(p); }),

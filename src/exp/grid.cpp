@@ -8,9 +8,10 @@ namespace dam::exp {
 
 namespace {
 
-const char* const kKnownKeys[] = {"a",     "b",     "c",     "g",
-                                  "psucc", "tau",   "z",     "alive",
-                                  "scale", "depth", "fanin", "runs"};
+const char* const kKnownKeys[] = {"a",     "b",     "c",      "g",
+                                  "psucc", "tau",   "z",      "alive",
+                                  "scale", "depth", "fanin",  "runs",
+                                  "rate",  "zipf_s"};
 
 bool known_key(std::string_view key) {
   for (const char* candidate : kKnownKeys) {
@@ -226,6 +227,45 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
       scenario.topic_names.push_back("B");
       scenario.group_sizes.push_back(bottom);
       scenario.publish_topic = static_cast<std::uint32_t>(fanin);
+    } else if (key == "rate") {
+      // Dynamic-lane axis: expected publications per round (Poisson and
+      // the flashcrowd background). The frozen engine ignores the
+      // workload entirely, so there the axis would sweep N bit-identical
+      // cells mislabeled as different rates — reject instead. Likewise,
+      // kScheduled arrivals never read the rate, so sweeping it switches
+      // them to kPoisson (the sweep must actually sweep). The traffic
+      // generator clamps Poisson draws at rate 64 — beyond that is a
+      // misconfiguration, not a workload — so the axis shares that
+      // domain.
+      if (scenario.engine != sim::EngineKind::kDynamic) {
+        throw std::invalid_argument(
+            "grid: rate is a dynamic-lane axis (the frozen engine has no "
+            "traffic stream); pick a kDynamic scenario");
+      }
+      if (value < 0.0 || value > 64.0) {
+        throw std::invalid_argument("grid: rate must be in [0, 64]");
+      }
+      if (scenario.workload.arrival.kind == workload::ArrivalKind::kScheduled) {
+        scenario.workload.arrival.kind = workload::ArrivalKind::kPoisson;
+      }
+      scenario.workload.arrival.rate = value;
+    } else if (key == "zipf_s") {
+      // Dynamic-lane axis: the Zipf popularity exponent. Sweeping it also
+      // switches the popularity model to kZipf — the exponent is dead
+      // state under kSingle/kUniform, and a sweep that silently did
+      // nothing would mislabel its results (s = 0 IS uniform, so the
+      // degenerate point stays reachable). Frozen scenarios are rejected
+      // for the same reason as `rate`.
+      if (scenario.engine != sim::EngineKind::kDynamic) {
+        throw std::invalid_argument(
+            "grid: zipf_s is a dynamic-lane axis (the frozen engine has "
+            "no traffic stream); pick a kDynamic scenario");
+      }
+      if (value < 0.0 || value > 16.0) {
+        throw std::invalid_argument("grid: zipf_s must be in [0, 16]");
+      }
+      scenario.workload.popularity.kind = workload::PopularityKind::kZipf;
+      scenario.workload.popularity.zipf_s = value;
     } else if (key == "runs") {
       // Bounded on both sides: a huge value would wrap the int cast and
       // silently run ~1.4e9 sweeps instead of erroring.

@@ -33,6 +33,18 @@
 //                               bottom group size (parents get a tenth,
 //                               floor 10) — the DAG-shape axis (frozen
 //                               engine only);
+//   rate                      — dynamic-lane workload axis: expected
+//                               publications per round (Poisson / the
+//                               flashcrowd background), domain [0, 64];
+//                               kScheduled arrivals switch to kPoisson so
+//                               the sweep actually sweeps; rejected on
+//                               frozen scenarios (no traffic stream);
+//   zipf_s                    — dynamic-lane workload axis: the Zipf
+//                               popularity exponent; sweeping it switches
+//                               the popularity model to kZipf (s = 0 is
+//                               uniform), so "zipf_s=0:2:0.5" sweeps skew
+//                               on any dynamic preset; rejected on frozen
+//                               scenarios;
 //   runs                      — runs per sweep point.
 //
 // Axes apply in declaration order, so "depth=4 scale=10" builds the chain

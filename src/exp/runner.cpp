@@ -141,7 +141,13 @@ SweepResult run_sweep(const sim::Scenario& scenario,
             // event messages.
             shard.events += result.total_messages + result.control_messages;
             ++shard.runs;
-            shard.dissemination_seconds += result.wall_seconds;
+            // Same wall split as the frozen lane: arena/spawn time vs the
+            // replay itself, plus the largest view-arena footprint.
+            shard.table_build_seconds += result.table_build_seconds;
+            shard.dissemination_seconds +=
+                result.wall_seconds - result.table_build_seconds;
+            shard.peak_table_bytes =
+                std::max(shard.peak_table_bytes, result.table_bytes);
           } else {
             const core::FrozenRunResult result = core::run_frozen_simulation(
                 scenario.config_for(dag, alive, static_cast<int>(run)));

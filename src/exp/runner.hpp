@@ -56,11 +56,14 @@ struct SweepResult {
   /// Per-run engine time summed across all runs (CPU-seconds, not wall:
   /// runs overlap across workers), split into membership-table
   /// construction vs dissemination — the split that shows where giant
-  /// groups spend their time.
+  /// groups spend their time. Both lanes report it: frozen runs split
+  /// CSR-table build vs gossip waves, dynamic runs split spawn_group
+  /// (view-arena sampling + node wiring) vs stream replay.
   double table_build_seconds = 0.0;
   double dissemination_seconds = 0.0;
 
-  /// Largest contiguous membership-arena footprint of any single run.
+  /// Largest contiguous membership-arena footprint of any single run
+  /// (frozen: core::GroupTables; dynamic: the spawn-batch view arenas).
   std::size_t peak_table_bytes = 0;
 };
 

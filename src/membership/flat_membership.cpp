@@ -23,8 +23,16 @@ void FlatMembership::join(const std::vector<ProcessId>& contacts) {
   for (ProcessId contact : contacts) view_.insert(contact, rng_);
 }
 
+void FlatMembership::adopt(std::span<const ProcessId> base) {
+  if (base.size() <= view_.capacity()) {
+    view_.seed(base);
+    return;
+  }
+  for (ProcessId contact : base) view_.insert(contact, rng_);
+}
+
 void FlatMembership::round(sim::Round now,
-                           const std::vector<ProcessId>& piggyback,
+                           std::span<const ProcessId> piggyback,
                            std::optional<TopicId> piggyback_topic,
                            const SendFn& send) {
   if (view_.empty()) return;
@@ -41,7 +49,7 @@ void FlatMembership::round(sim::Round now,
     msg.processes = view_.sample(config_.shuffle_size, rng_);
     if (piggyback_topic && !piggyback.empty()) {
       msg.piggyback_topic = piggyback_topic;
-      msg.piggyback_super_table = piggyback;
+      msg.piggyback_super_table.assign(piggyback.begin(), piggyback.end());
     }
     send(std::move(msg));
   }

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "membership/view.hpp"
@@ -45,10 +46,17 @@ class FlatMembership {
   /// Seeds the view from an initial contact list (join).
   void join(const std::vector<ProcessId>& contacts);
 
+  /// join() for an immutable spawn-batch arena row: the view reads the row
+  /// in place (PartialView shared mode, copy-on-churn on first mutation)
+  /// instead of copying it. Falls back to per-entry insertion — the exact
+  /// join() stream — when the row exceeds the view capacity (a contact mix
+  /// only possible when the caller's view-capacity knob outruns ours).
+  void adopt(std::span<const ProcessId> base);
+
   /// One membership round: initiate `gossip_fanout` view exchanges.
   /// `piggyback` is the sender's current supertopic table (may be empty);
   /// it rides along per Sec. V-A.2a.
-  void round(sim::Round now, const std::vector<ProcessId>& piggyback,
+  void round(sim::Round now, std::span<const ProcessId> piggyback,
              std::optional<TopicId> piggyback_topic, const SendFn& send);
 
   /// Handles an incoming MEMBERSHIP message: merge sender + shipped view.

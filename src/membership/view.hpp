@@ -5,10 +5,21 @@
 // (b+1)·ln(S). This container enforces the bound: inserting into a full
 // view evicts a uniformly random entry, which is what keeps views uniform
 // under gossip exchange. Never contains duplicates or the owner itself.
+//
+// Two storage modes:
+//   * owned   — the historical mode: the view owns a little entries vector.
+//   * shared  — the view reads an immutable arena row (seed()): the initial
+//     contacts of a DamSystem::spawn_group batch live once in a flat CSR
+//     arena (core::GroupViewArena) instead of S per-node vectors. The first
+//     mutation — gossip merge, eviction, capacity shrink — copies the row
+//     into the owned overlay (copy-on-churn) and the view behaves exactly
+//     like the owned one from then on, bit-for-bit: same entry order, same
+//     eviction draws. Churn-free nodes never allocate view storage at all.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "topics/subscriptions.hpp"
@@ -24,13 +35,32 @@ class PartialView {
       : owner_(owner), capacity_(capacity) {}
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries().size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries().empty(); }
   [[nodiscard]] bool full() const noexcept { return size() >= capacity_; }
   [[nodiscard]] ProcessId owner() const noexcept { return owner_; }
 
   [[nodiscard]] bool contains(ProcessId p) const noexcept {
-    return std::find(entries_.begin(), entries_.end(), p) != entries_.end();
+    const auto current = entries();
+    return std::find(current.begin(), current.end(), p) != current.end();
+  }
+
+  /// Adopts an immutable arena row as the view contents (shared mode; see
+  /// file comment). Precondition (guaranteed by the spawn-batch sampler):
+  /// entries are distinct, exclude the owner, and fit the capacity — i.e.
+  /// exactly what a join() of the same row would have produced, minus the
+  /// copy. The row must outlive the view or its first mutation, whichever
+  /// comes first.
+  void seed(std::span<const ProcessId> base);
+
+  /// True while reads are still served by the shared arena row.
+  [[nodiscard]] bool shares_base() const noexcept { return shared_; }
+
+  /// The arena row this view was seeded from (empty if none). Stays
+  /// observable after the copy-on-churn materialization so overlay deltas
+  /// can be diffed against the base.
+  [[nodiscard]] std::span<const ProcessId> base() const noexcept {
+    return base_;
   }
 
   /// Inserts `p`. Ignores the owner and duplicates. When full, evicts a
@@ -44,6 +74,8 @@ class PartialView {
   /// Retains only entries satisfying `keep`.
   template <typename Predicate>
   void retain(Predicate keep) {
+    if (shared_ && std::all_of(base_.begin(), base_.end(), keep)) return;
+    materialize();
     entries_.erase(
         std::remove_if(entries_.begin(), entries_.end(),
                        [&](ProcessId p) { return !keep(p); }),
@@ -53,28 +85,40 @@ class PartialView {
   /// Up to `k` distinct entries drawn uniformly.
   [[nodiscard]] std::vector<ProcessId> sample(std::size_t k,
                                               util::Rng& rng) const {
-    return rng.sample(entries_, k);
+    return rng.sample(entries(), k);
   }
 
   /// A uniformly random entry. Precondition: !empty().
   [[nodiscard]] ProcessId pick(util::Rng& rng) const {
-    return entries_[rng.below(entries_.size())];
+    const auto current = entries();
+    return current[rng.below(current.size())];
   }
 
-  [[nodiscard]] const std::vector<ProcessId>& entries() const noexcept {
-    return entries_;
+  [[nodiscard]] std::span<const ProcessId> entries() const noexcept {
+    return shared_ ? base_ : std::span<const ProcessId>(entries_);
   }
 
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept {
+    shared_ = false;
+    entries_.clear();
+  }
 
   /// Grows or shrinks the capacity (group-size estimates change as
   /// membership gossip spreads). Shrinking evicts random entries.
   void set_capacity(std::size_t capacity, util::Rng& rng);
 
  private:
+  /// Copy-on-churn: copies the shared base row into the owned overlay so
+  /// the pending mutation proceeds exactly as it would have on an owned
+  /// vector holding the same entries in the same order.
+  void materialize();
+
   ProcessId owner_;
   std::size_t capacity_;
-  std::vector<ProcessId> entries_;
+  std::span<const ProcessId> base_{};  ///< shared arena row (may be stale
+                                       ///< of entries_ once materialized)
+  bool shared_ = false;                ///< reads served by base_
+  std::vector<ProcessId> entries_;     ///< owned overlay
 };
 
 }  // namespace dam::membership

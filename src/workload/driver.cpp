@@ -207,9 +207,14 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   system.set_failure_model(std::move(failures));
   const sim::FailureModel& alive_model = system.failure_model();
 
+  const auto spawn_started = std::chrono::steady_clock::now();
   for (std::size_t topic = 0; topic < topic_count; ++topic) {
     system.spawn_group(binding.topic_ids[topic], scenario.group_sizes[topic]);
   }
+  const double spawn_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    spawn_started)
+          .count();
 
   // --- Bootstrap-link measurement (cold-start lane). ----------------------
   std::unordered_map<topics::TopicId, std::size_t> topic_index;
@@ -405,6 +410,10 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
+  result.table_build_seconds = spawn_seconds;
+  // Mid-run joins spawn one at a time (owned views), so the arena total is
+  // fixed once the initial groups exist — reading it at run end is exact.
+  result.table_bytes = system.view_arena_bytes();
   return result;
 }
 

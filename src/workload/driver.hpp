@@ -88,6 +88,17 @@ struct DynamicRunResult {
   double linked_fraction = 0.0;
 
   double wall_seconds = 0.0;
+
+  /// Wall seconds spent spawning the scenario's groups (arena sampling +
+  /// node wiring) — the dynamic lane's analogue of the frozen engine's
+  /// table_build_seconds. Included in wall_seconds.
+  double table_build_seconds = 0.0;
+
+  /// Contiguous bytes held by the spawn-batch view arenas
+  /// (DamSystem::view_arena_bytes) — the dynamic lane's peak_table_bytes.
+  /// Per-node copy-on-churn overlays are excluded: they exist only for
+  /// nodes that churned.
+  std::size_t table_bytes = 0;
 };
 
 /// Executes one dynamic run: seed and streams derive from

@@ -97,6 +97,46 @@ TEST(SuperTopicTable, ClearResetsTopic) {
   EXPECT_FALSE(table.super_topic().has_value());
 }
 
+TEST(SuperTopicTable, SeedReadsTheArenaRowInPlace) {
+  const std::vector<ProcessId> row{ProcessId{4}, ProcessId{5}, ProcessId{6}};
+  SuperTopicTable table(ProcessId{0}, 3);
+  table.seed(TopicId{2}, row);
+  EXPECT_TRUE(table.shares_base());
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(*table.super_topic(), TopicId{2});
+  EXPECT_TRUE(table.contains(ProcessId{5}));
+  // entries() IS the row, not a copy.
+  EXPECT_EQ(table.entries().data(), row.data());
+}
+
+TEST(SuperTopicTable, SeededTableCopiesOnChurnAndKeepsBaseObservable) {
+  const std::vector<ProcessId> row{ProcessId{4}, ProcessId{5}, ProcessId{6}};
+  SuperTopicTable table(ProcessId{0}, 3);
+  table.seed(TopicId{2}, row);
+  // Churn: entry 5 fails; the table materializes a private overlay and
+  // drops it there — the arena row itself stays intact.
+  const auto dropped =
+      table.drop_failed([](ProcessId p) { return p != ProcessId{5}; });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_FALSE(table.shares_base());
+  EXPECT_FALSE(table.contains(ProcessId{5}));
+  EXPECT_EQ(row[1], ProcessId{5});  // base untouched
+  ASSERT_EQ(table.base().size(), 3u);
+  EXPECT_EQ(table.base().data(), row.data());
+  // Post-churn the table behaves exactly like an owned one.
+  table.merge(TopicId{2}, {ProcessId{9}}, kAllAlive);
+  EXPECT_TRUE(table.contains(ProcessId{9}));
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SuperTopicTable, DropFailedWithoutFailuresKeepsSharingTheBase) {
+  const std::vector<ProcessId> row{ProcessId{4}, ProcessId{5}};
+  SuperTopicTable table(ProcessId{0}, 3);
+  table.seed(TopicId{2}, row);
+  EXPECT_EQ(table.drop_failed(kAllAlive), 0u);
+  EXPECT_TRUE(table.shares_base());
+}
+
 TEST(SuperTopicTable, ConstantSizeInvariantUnderManyMerges) {
   // The paper's memory bound relies on |sTable| <= z always.
   SuperTopicTable table(ProcessId{0}, 3);

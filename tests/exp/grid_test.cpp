@@ -150,6 +150,71 @@ TEST(GridApply, FaninOneIsASingleParentAndSmallBottomsFloorAtTen) {
   EXPECT_EQ(scenario.super_edges.size(), 1u);
 }
 
+TEST(GridApply, RateSetsTheArrivalRate) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  scenario.engine = sim::EngineKind::kDynamic;
+  apply_grid_point(scenario, {{"rate", 0.4}});
+  EXPECT_DOUBLE_EQ(scenario.workload.arrival.rate, 0.4);
+  // Arrival kind is untouched: rate feeds kPoisson and the kFlashcrowd
+  // background alike.
+  EXPECT_EQ(scenario.workload.arrival.kind, workload::ArrivalKind::kPoisson);
+  scenario.workload.arrival.kind = workload::ArrivalKind::kFlashcrowd;
+  apply_grid_point(scenario, {{"rate", 0.2}});
+  EXPECT_EQ(scenario.workload.arrival.kind,
+            workload::ArrivalKind::kFlashcrowd);
+  EXPECT_THROW(apply_grid_point(scenario, {{"rate", -0.1}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"rate", 65.0}}),
+               std::invalid_argument);
+}
+
+TEST(GridApply, RateSwitchesScheduledArrivalsToPoisson) {
+  // kScheduled never reads the rate; a rate sweep over it would run N
+  // bit-identical cells labeled as different rates.
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  scenario.engine = sim::EngineKind::kDynamic;
+  scenario.workload.arrival.kind = workload::ArrivalKind::kScheduled;
+  apply_grid_point(scenario, {{"rate", 0.3}});
+  EXPECT_EQ(scenario.workload.arrival.kind, workload::ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(scenario.workload.arrival.rate, 0.3);
+}
+
+TEST(GridApply, WorkloadAxesRejectFrozenScenarios) {
+  // The frozen engine has no traffic stream: both axes would be dead
+  // state, sweeping identical cells under different labels.
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  ASSERT_EQ(scenario.engine, sim::EngineKind::kFrozen);
+  EXPECT_THROW(apply_grid_point(scenario, {{"rate", 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"zipf_s", 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(GridApply, ZipfSSetsExponentAndSwitchesToZipfPopularity) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  scenario.engine = sim::EngineKind::kDynamic;
+  ASSERT_EQ(scenario.workload.popularity.kind,
+            workload::PopularityKind::kSingle);
+  apply_grid_point(scenario, {{"zipf_s", 1.5}});
+  EXPECT_DOUBLE_EQ(scenario.workload.popularity.zipf_s, 1.5);
+  // The exponent is dead state under kSingle/kUniform; the axis switches
+  // the model so the sweep actually sweeps (s = 0 degenerates to uniform).
+  EXPECT_EQ(scenario.workload.popularity.kind,
+            workload::PopularityKind::kZipf);
+  EXPECT_THROW(apply_grid_point(scenario, {{"zipf_s", -0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"zipf_s", 17.0}}),
+               std::invalid_argument);
+}
+
+TEST(GridParse, WorkloadAxesAreKnownKeys) {
+  const auto axes = parse_grid("rate=0.1:0.3:0.1 zipf_s=0,1,2");
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].key, "rate");
+  EXPECT_EQ(axes[1].key, "zipf_s");
+  EXPECT_EQ(axes[1].values, (std::vector<double>{0, 1, 2}));
+}
+
 TEST(GridApply, FaninRejectsOutOfDomain) {
   sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
   EXPECT_THROW(apply_grid_point(scenario, {{"fanin", 0.0}}),

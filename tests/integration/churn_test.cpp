@@ -32,8 +32,10 @@ TEST(Churn, SuperTableRepairsAfterSupergroupDeaths) {
   }
   // Keep at least one entry alive so NEWPROCESS can be answered... no:
   // kill all of them; repair must then go through other leaves' piggyback
-  // or bootstrap. Track which died.
-  const auto dead = table.entries();
+  // or bootstrap. Track which died (copied: entries() is a span whose
+  // backing storage moves when the table repairs itself).
+  const std::vector<ProcessId> dead(table.entries().begin(),
+                                    table.entries().end());
   system.set_failure_model(std::move(failures));
   system.run_rounds(60);
 

@@ -59,7 +59,8 @@ TEST(FlatMembership, PiggybackRidesAlong) {
   auto member = make_member(0);
   member.join({ProcessId{1}});
   std::vector<Message> sent;
-  member.round(0, {ProcessId{50}, ProcessId{51}}, TopicId{9},
+  const std::vector<ProcessId> piggyback{ProcessId{50}, ProcessId{51}};
+  member.round(0, piggyback, TopicId{9},
                [&](Message&& msg) { sent.push_back(std::move(msg)); });
   ASSERT_EQ(sent.size(), 1u);
   ASSERT_TRUE(sent[0].piggyback_topic.has_value());

@@ -7,6 +7,7 @@
 
 #include <unordered_set>
 
+#include "exp/grid.hpp"
 #include "exp/runner.hpp"
 
 namespace dam::sim {
@@ -47,6 +48,16 @@ TEST(ScenarioRegistry, EveryPresetRunsEndToEnd) {
     Scenario scenario = preset;
     scenario.alive_sweep = {scenario.alive_sweep.back()};
     scenario.runs = 3;
+    // This smoke checks plumbing, not scale: cap the population so the
+    // giant presets don't dominate the suite's wall (the dedicated scale
+    // tests and bench_dynamic_scale own the 1e5/1e6 sizes).
+    std::size_t population = 0;
+    for (const std::size_t size : scenario.group_sizes) population += size;
+    if (population > 20000) {
+      exp::apply_grid_point(
+          scenario,
+          {{"scale", 20000.0 / static_cast<double>(population)}});
+    }
     const exp::SweepResult sweep = exp::run_sweep(scenario);
     ASSERT_EQ(sweep.points.size(), 1u);
     ASSERT_EQ(sweep.points[0].groups.size(), scenario.topic_names.size());

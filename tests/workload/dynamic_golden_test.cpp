@@ -1,0 +1,136 @@
+// Golden regression: dynamic-lane runs must stay BIT-IDENTICAL to the
+// engine as it stood before the shared view arena (PR 5). The numbers
+// below were captured from the pre-arena code (per-node vector views) for
+// fixed (scenario, alive, run) cells across all three dynamic presets plus
+// a cold-start bootstrap cell — every counter and every accumulated double
+// is pinned exactly.
+//
+// If a change legitimately alters the dynamic RNG stream (a new draw, a
+// reordered sample), these numbers must be regenerated TOGETHER with a
+// changelog note — the lab's cross-PR comparability of dynamic sweeps
+// rests on them.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+#include "workload/driver.hpp"
+
+namespace dam::workload {
+namespace {
+
+const sim::Scenario& preset(const char* name) {
+  const sim::Scenario* scenario = sim::find_scenario(name);
+  EXPECT_NE(scenario, nullptr) << name;
+  return *scenario;
+}
+
+TEST(DynamicGolden, ZipfStormAllAliveRunZero) {
+  const sim::Scenario& scenario = preset("zipf-storm");
+  const DynamicScenarioBinding binding = bind_scenario(scenario);
+  const DynamicRunResult r = run_dynamic_simulation(scenario, binding, 1.0, 0);
+  EXPECT_EQ(r.total_messages, 96771u);
+  EXPECT_EQ(r.control_messages, 58827u);
+  EXPECT_EQ(r.publications, 20u);
+  EXPECT_DOUBLE_EQ(r.event_reliability, 0.9965765765765765);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.4488226814031715);
+  EXPECT_DOUBLE_EQ(r.max_latency, 10.0);
+  EXPECT_EQ(r.rounds, 53u);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[0].intra_sent, 1596u);
+  EXPECT_EQ(r.groups[0].inter_received, 51u);
+  EXPECT_EQ(r.groups[0].control_sent, 529u);
+  EXPECT_EQ(r.groups[0].duplicate_deliveries, 1216u);
+  EXPECT_DOUBLE_EQ(r.groups[0].delivery_ratio, 1.0);
+  EXPECT_EQ(r.groups[1].intra_sent, 11970u);
+  EXPECT_EQ(r.groups[1].inter_sent, 51u);
+  EXPECT_DOUBLE_EQ(r.groups[1].delivery_ratio, 0.99750000000000005);
+  EXPECT_EQ(r.groups[2].intra_sent, 83124u);
+  EXPECT_EQ(r.groups[2].control_sent, 52999u);
+  EXPECT_EQ(r.groups[2].duplicate_deliveries, 63775u);
+  EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.98957142857142866);
+  EXPECT_EQ(r.groups[2].ratio_samples, 7u);
+  // The arena path reports its footprint; the pre-arena engine had none.
+  EXPECT_GT(r.table_bytes, 0u);
+}
+
+TEST(DynamicGolden, ZipfStormStillbornRunTwo) {
+  const sim::Scenario& scenario = preset("zipf-storm");
+  const DynamicScenarioBinding binding = bind_scenario(scenario);
+  const DynamicRunResult r = run_dynamic_simulation(scenario, binding, 0.7, 2);
+  EXPECT_EQ(r.total_messages, 29525u);
+  EXPECT_EQ(r.control_messages, 41449u);
+  EXPECT_EQ(r.publications, 26u);
+  EXPECT_DOUBLE_EQ(r.event_reliability, 0.98890393157791201);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.3674183514774496);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[0].alive, 7u);
+  EXPECT_EQ(r.groups[1].alive, 69u);
+  EXPECT_EQ(r.groups[2].alive, 706u);
+  EXPECT_DOUBLE_EQ(r.groups[0].delivery_ratio, 0.96153846153846156);
+  EXPECT_DOUBLE_EQ(r.groups[1].delivery_ratio, 0.79227053140096615);
+  EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.97686496694995284);
+}
+
+TEST(DynamicGolden, FlashcrowdRunOne) {
+  const sim::Scenario& scenario = preset("flashcrowd");
+  const DynamicScenarioBinding binding = bind_scenario(scenario);
+  const DynamicRunResult r = run_dynamic_simulation(scenario, binding, 1.0, 1);
+  EXPECT_EQ(r.total_messages, 603392u);
+  EXPECT_EQ(r.control_messages, 52167u);
+  EXPECT_EQ(r.publications, 47u);
+  EXPECT_DOUBLE_EQ(r.event_reliability, 0.9794134560092006);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.5373610458744325);
+  EXPECT_DOUBLE_EQ(r.max_latency, 9.0);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[2].intra_sent, 557052u);
+  EXPECT_EQ(r.groups[2].duplicate_deliveries, 426898u);
+  EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.98768085106382975);
+}
+
+TEST(DynamicGolden, ChurnSubscribeHeavyRunZero) {
+  // Joins, leaves and crash/recover: the churn traces exercise both the
+  // mid-run spawn() path (owned views) and the overlays of batch-spawned
+  // nodes — bit-identical too, since copy-on-churn replays the historical
+  // mutations on the same entry order.
+  const sim::Scenario& scenario = preset("churn-subscribe-heavy");
+  const DynamicScenarioBinding binding = bind_scenario(scenario);
+  const DynamicRunResult r = run_dynamic_simulation(scenario, binding, 1.0, 0);
+  EXPECT_EQ(r.total_messages, 18396u);
+  EXPECT_EQ(r.control_messages, 14454u);
+  EXPECT_EQ(r.publications, 10u);
+  EXPECT_DOUBLE_EQ(r.event_reliability, 0.93824258601926247);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.8251708428246012);
+  EXPECT_DOUBLE_EQ(r.max_latency, 11.0);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[0].size, 42u);
+  EXPECT_EQ(r.groups[0].alive, 38u);
+  EXPECT_EQ(r.groups[1].size, 72u);
+  EXPECT_EQ(r.groups[2].size, 226u);
+  EXPECT_EQ(r.groups[2].alive, 193u);
+  EXPECT_DOUBLE_EQ(r.groups[0].delivery_ratio, 0.73421052631578954);
+  EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.88946459412780643);
+}
+
+TEST(DynamicGolden, ColdStartBootstrapCell) {
+  // auto_wire off: super rows are absent from the arena and every node
+  // runs FIND_SUPER_CONTACT — the flood order (and so the whole control
+  // stream) must be unchanged by the arena path.
+  sim::Scenario cold = sim::make_linear_scenario("cold", "cold", {10, 10, 10});
+  cold.engine = sim::EngineKind::kDynamic;
+  cold.workload.arrival.kind = ArrivalKind::kScheduled;
+  cold.workload.arrival.count = 0;
+  cold.workload.arrival.horizon = 16;
+  cold.workload.engine.auto_wire_super_tables = false;
+  cold.workload.engine.warmup_rounds = 0;
+  cold.workload.engine.drain_rounds = 0;
+  cold.base_seed = 0xC01D;
+  const DynamicScenarioBinding binding = bind_scenario(cold);
+  const DynamicRunResult r = run_dynamic_simulation(cold, binding, 1.0, 0);
+  EXPECT_EQ(r.total_messages, 0u);
+  EXPECT_EQ(r.control_messages, 2081u);
+  EXPECT_DOUBLE_EQ(r.rounds_to_link, 3.0);
+  EXPECT_DOUBLE_EQ(r.linked_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.control_at_link, 1177.0);
+}
+
+}  // namespace
+}  // namespace dam::workload

@@ -1,0 +1,247 @@
+// mdlint — relative-link and anchor checker for the repo's markdown.
+//
+//   mdlint <file-or-dir>...
+//
+// Scans every given .md file (directories are searched recursively) for
+// inline links/images `[text](target)` and verifies that
+//   * a relative target resolves to an existing file or directory,
+//   * a `#fragment` (same-file or `path#fragment`) names a real heading,
+//     using GitHub's slug rules (lowercase, punctuation stripped, spaces
+//     to '-', duplicate slugs suffixed -1, -2, ...).
+// External schemes (http:, https:, mailto:, ...) are not fetched; fenced
+// code blocks and inline code spans are ignored; reference-style links
+// ([text][ref]) are not used in this repo and not parsed. Absolute paths
+// are flagged — GitHub renders them dead outside the repo root.
+//
+// Prints one "file:line: message" per dead link and exits 1 if any; this
+// is both a ctest test (docs_links) and a dependency-free CI job (it
+// compiles standalone: g++ -std=c++20 tools/mdlint.cpp).
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Line {
+  std::string text;
+  std::size_t number = 0;
+};
+
+/// File contents, line by line, with fenced code blocks blanked out and
+/// inline code spans stripped (their brackets are not links).
+std::vector<Line> readable_lines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<Line> lines;
+  std::string raw;
+  bool fenced = false;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    std::string_view trimmed(raw);
+    while (!trimmed.empty() && trimmed.front() == ' ') trimmed.remove_prefix(1);
+    if (trimmed.starts_with("```") || trimmed.starts_with("~~~")) {
+      fenced = !fenced;
+      lines.push_back({"", number});
+      continue;
+    }
+    if (fenced) {
+      lines.push_back({"", number});
+      continue;
+    }
+    // Strip inline code spans `...` (unterminated spans run to line end).
+    std::string cleaned;
+    cleaned.reserve(raw.size());
+    bool in_code = false;
+    for (char c : raw) {
+      if (c == '`') {
+        in_code = !in_code;
+        continue;
+      }
+      if (!in_code) cleaned += c;
+    }
+    lines.push_back({std::move(cleaned), number});
+  }
+  return lines;
+}
+
+/// GitHub heading slug: lowercase, strip everything but [a-z0-9 _-],
+/// spaces to '-'.
+std::string slugify(std::string_view heading) {
+  std::string slug;
+  for (char c : heading) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug += static_cast<char>(std::tolower(u));
+    } else if (c == ' ' || c == '-') {
+      slug += '-';
+    } else if (c == '_') {
+      slug += '_';
+    }  // other punctuation vanishes
+  }
+  return slug;
+}
+
+/// Heading anchors of one markdown file (slugs with -N dedup suffixes).
+std::set<std::string> collect_anchors(const fs::path& path) {
+  std::set<std::string> anchors;
+  std::map<std::string, int> seen;
+  for (const Line& line : readable_lines(path)) {
+    std::string_view text(line.text);
+    if (!text.starts_with('#')) continue;
+    std::size_t level = 0;
+    while (level < text.size() && text[level] == '#') ++level;
+    if (level > 6 || level >= text.size() || text[level] != ' ') continue;
+    std::string_view title = text.substr(level + 1);
+    // Render link syntax [text](target) down to its text before slugging —
+    // GitHub slugs only the link text, never the target.
+    std::string flat;
+    for (std::size_t i = 0; i < title.size(); ++i) {
+      const char c = title[i];
+      if (c == '[') continue;
+      if (c == ']') {
+        if (i + 1 < title.size() && title[i + 1] == '(') {
+          std::size_t depth = 1;
+          std::size_t j = i + 2;
+          while (j < title.size() && depth > 0) {
+            if (title[j] == '(') ++depth;
+            if (title[j] == ')') --depth;
+            ++j;
+          }
+          i = j - 1;  // skip the whole (target)
+        }
+        continue;
+      }
+      flat += c;
+    }
+    const std::string base = slugify(flat);
+    const int repeat = seen[base]++;
+    anchors.insert(repeat == 0 ? base : base + "-" + std::to_string(repeat));
+  }
+  return anchors;
+}
+
+const std::set<std::string>& anchors_of(const fs::path& path) {
+  static std::map<std::string, std::set<std::string>> cache;
+  const std::string key = fs::weakly_canonical(path).string();
+  auto it = cache.find(key);
+  if (it == cache.end()) it = cache.emplace(key, collect_anchors(path)).first;
+  return it->second;
+}
+
+bool has_scheme(std::string_view target) {
+  if (target.starts_with("//")) return true;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    const char c = target[i];
+    if (c == ':') return i > 0;
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '+' &&
+        c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return false;
+}
+
+/// Extracts every inline-link target `[...](target)` from a cleaned line.
+std::vector<std::string> link_targets(const std::string& text) {
+  std::vector<std::string> targets;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != ']' || text[i + 1] != '(') continue;
+    // Balance parentheses so targets like foo_(bar).md survive.
+    std::size_t depth = 1;
+    std::size_t end = i + 2;
+    while (end < text.size() && depth > 0) {
+      if (text[end] == '(') ++depth;
+      if (text[end] == ')') --depth;
+      ++end;
+    }
+    if (depth != 0) continue;  // unterminated; not a link
+    std::string target = text.substr(i + 2, end - i - 3);
+    // Drop an optional title: [x](path "title").
+    const std::size_t title = target.find(" \"");
+    if (title != std::string::npos) target.resize(title);
+    while (!target.empty() && target.back() == ' ') target.pop_back();
+    if (!target.empty() && target.front() == '<' && target.back() == '>') {
+      target = target.substr(1, target.size() - 2);
+    }
+    if (!target.empty()) targets.push_back(std::move(target));
+  }
+  return targets;
+}
+
+int check_file(const fs::path& path, std::vector<std::string>& errors) {
+  int checked = 0;
+  for (const Line& line : readable_lines(path)) {
+    for (const std::string& target : link_targets(line.text)) {
+      if (has_scheme(target)) continue;
+      ++checked;
+      const auto report = [&](const std::string& why) {
+        errors.push_back(path.string() + ":" + std::to_string(line.number) +
+                         ": " + why + " '(" + target + ")'");
+      };
+      const std::size_t hash = target.find('#');
+      const std::string file_part = target.substr(0, hash);
+      const std::string anchor =
+          hash == std::string::npos ? "" : target.substr(hash + 1);
+      if (!file_part.empty() && file_part.front() == '/') {
+        report("absolute link (GitHub renders these dead)");
+        continue;
+      }
+      const fs::path resolved =
+          file_part.empty() ? path : path.parent_path() / file_part;
+      if (!fs::exists(resolved)) {
+        report("dead relative link");
+        continue;
+      }
+      if (anchor.empty()) continue;
+      if (fs::is_directory(resolved)) {
+        report("anchor on a directory link");
+        continue;
+      }
+      if (!anchors_of(resolved).contains(anchor)) {
+        report("dead anchor");
+      }
+    }
+  }
+  return checked;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mdlint <file-or-dir>...\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".md") {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::exists(arg)) {
+      files.push_back(arg);
+    } else {
+      std::cerr << "mdlint: no such path: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::string> errors;
+  int checked = 0;
+  for (const fs::path& file : files) checked += check_file(file, errors);
+  for (const std::string& error : errors) std::cerr << error << "\n";
+  std::cout << "mdlint: " << files.size() << " files, " << checked
+            << " relative links checked, " << errors.size() << " dead\n";
+  return errors.empty() ? 0 : 1;
+}
