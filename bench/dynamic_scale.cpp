@@ -7,7 +7,7 @@
 // dynamic lane topped out around 10⁴–10⁵ processes; this bench is the
 // regression gate that keeps the million-process run feasible.
 //
-//   bench_dynamic_scale [--scale=10] [--runs=1] [--jobs=1]
+//   bench_dynamic_scale [--scale=10] [--runs=1] [--jobs=1] [--threads=N]
 //                       [--budget=900] [--json=out.json]
 //
 // --budget is the wall limit in seconds for the WHOLE sweep (0 disables
@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
       "bench_dynamic_scale — giant-dynamic preset under a wall budget");
   args.add_option("scale", "10", "group-size multiplier (10 -> S = 1e6)");
   args.add_option("runs", "1", "engine runs");
-  args.add_option("jobs", "1", "worker threads (runs overlap at >1)");
+  args.add_option("jobs", "1", "cross-run worker threads (runs overlap at >1)");
+  args.add_option("threads", "0",
+                  "intra-run worker threads for the spawn-batch arena fill "
+                  "(0 = hardware; omit for the serial sampling stream)");
   args.add_option("budget", "900",
                   "wall budget in seconds for the whole sweep (0 = off)");
   args.add_option("json", "", "write the damlab-bench-v1 document here");
@@ -55,6 +58,9 @@ int main(int argc, char** argv) {
   }
   sim::Scenario scenario = *preset;
   scenario.runs = static_cast<int>(args.integer("runs"));
+  if (args.provided("threads")) {
+    scenario.threads = static_cast<unsigned>(args.integer("threads"));
+  }
   const exp::GridPoint cell{{"scale", scale}};
   exp::apply_grid_point(scenario, cell);
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <stdexcept>
 
 #include "core/protocol.hpp"
 #include "sim/failure.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dam::core {
@@ -19,6 +21,27 @@ struct Coord {
   std::uint32_t topic;
   std::uint32_t index;
 };
+
+// --- Sharded-stream constants (FrozenSimConfig::threads set). --------------
+//
+// Chunk sizes are FIXED so the chunk grid — and with it every forked RNG
+// stream and the chunk-order merge — is a pure function of the config,
+// never of the worker count. That is the whole determinism contract:
+// threads=1 and threads=8 walk the identical chunk grid, only the
+// execution interleaving differs.
+
+/// Table rows per build task. Must stay a multiple of 64: the stillborn
+/// alive flags are a bit-packed vector<bool>, and word-aligned chunk
+/// boundaries are what keeps concurrent chunk fills on disjoint words.
+constexpr std::size_t kRowChunk = 4096;
+
+/// Frontier coords per wave task.
+constexpr std::size_t kWaveChunk = 1024;
+
+/// Fork salts separating the sharded streams (arbitrary, fixed forever —
+/// they are part of the sharded stream definition).
+constexpr std::uint64_t kGroupSalt = 0x7AB1E000ULL;  ///< per-group tables
+constexpr std::uint64_t kRoundSalt = 0x3A7E000ULL;   ///< per-round waves
 
 void check_offset_range(std::size_t entries) {
   if (entries > std::numeric_limits<std::uint32_t>::max()) {
@@ -74,8 +97,121 @@ const TopicParams& params_for_topic(const FrozenSimConfig& config,
   return config.params[std::min(topic, config.params.size() - 1)];
 }
 
+namespace {
+
+/// Sharded-stream table build (threads set, kFast only): offsets are laid
+/// out serially (row widths are pure functions of the sizes), then every
+/// kRowChunk-row block of every group fills from its own stream
+///   rng.fork(kGroupSalt + topic).fork(purpose).fork(chunk)
+/// (purpose 0 = alive flags, 1 = topic rows, 2+slot = supertopic slot), so
+/// the tables are bit-identical for any worker count. Only forks `rng`,
+/// never consumes it — the caller's stream position is untouched.
+FrozenTables build_frozen_tables_sharded(const FrozenSimConfig& config,
+                                         const util::Rng& rng,
+                                         unsigned threads) {
+  const topics::TopicDag& dag = *config.dag;
+  const bool stillborn = config.failure_mode == FrozenFailureMode::kStillborn;
+  const double fail_probability = 1.0 - config.alive_fraction;
+
+  FrozenTables tables;
+  tables.groups.resize(dag.size());
+  std::vector<std::function<void()>> tasks;
+
+  for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+    GroupTables& group = tables.groups[topic];
+    group.size = config.group_sizes[topic];
+    const TopicParams& params = params_for_topic(config, topic);
+    const auto& parents = dag.supers(topics::DagTopicId{topic});
+    group.parent_count = parents.size();
+    group.alive.assign(group.size, true);
+
+    // kFast rows all have the full width (draw_distinct_below always
+    // returns min(k, n)), so the CSR offsets are uniform and need no draw.
+    const std::size_t view_size =
+        std::min(params.view_capacity(group.size), group.size - 1);
+    check_offset_range(group.size * view_size);
+    group.topic_offsets.resize(group.size + 1);
+    for (std::size_t i = 0; i <= group.size; ++i) {
+      group.topic_offsets[i] = static_cast<std::uint32_t>(i * view_size);
+    }
+    group.topic_entries.resize(group.size * view_size);
+
+    std::size_t super_width = 0;
+    for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+      super_width +=
+          std::min(params.z, config.group_sizes[parents[slot].value]);
+    }
+    check_offset_range(group.size * super_width);
+    group.super_offsets.assign(group.size * parents.size() + 1, 0);
+    group.super_entries.resize(group.size * super_width);
+    std::uint32_t running = 0;
+    for (std::size_t i = 0; i < group.size; ++i) {
+      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+        group.super_offsets[i * parents.size() + slot] = running;
+        running += static_cast<std::uint32_t>(
+            std::min(params.z, config.group_sizes[parents[slot].value]));
+      }
+    }
+    group.super_offsets[group.size * parents.size()] = running;
+
+    const util::Rng group_base = rng.fork(kGroupSalt + topic);
+    const std::size_t chunk_count = (group.size + kRowChunk - 1) / kRowChunk;
+    for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+      const std::size_t lo = chunk * kRowChunk;
+      const std::size_t hi = std::min(group.size, lo + kRowChunk);
+      tasks.push_back([&group, &config, &params, &parents, group_base, chunk,
+                       lo, hi, view_size, stillborn, fail_probability] {
+        if (stillborn && fail_probability > 0.0) {
+          util::Rng alive_rng = group_base.fork(0).fork(chunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (alive_rng.bernoulli(fail_probability)) group.alive[i] = false;
+          }
+        }
+        if (group.size > 1) {
+          util::Rng row_rng = group_base.fork(1).fork(chunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::uint32_t* row =
+                group.topic_entries.data() + group.topic_offsets[i];
+            const std::size_t written =
+                row_rng.draw_distinct_below(group.size - 1, view_size, row);
+            // Drawn over [0, S-1); shift past self to land on [0, S) \ {i}.
+            for (std::size_t e = 0; e < written; ++e) {
+              if (row[e] >= i) ++row[e];
+            }
+          }
+        }
+        for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+          const std::size_t parent_size =
+              config.group_sizes[parents[slot].value];
+          util::Rng super_rng = group_base.fork(2 + slot).fork(chunk);
+          for (std::size_t i = lo; i < hi; ++i) {
+            std::uint32_t* row =
+                group.super_entries.data() +
+                group.super_offsets[i * parents.size() + slot];
+            super_rng.draw_distinct_below(parent_size, params.z, row);
+          }
+        }
+      });
+    }
+  }
+  util::run_parallel(tasks, threads);
+  return tables;
+}
+
+}  // namespace
+
 FrozenTables build_frozen_tables(const FrozenSimConfig& config,
                                  util::Rng& rng) {
+  if (config.threads.has_value()) {
+    if (config.table_build != TableBuild::kFast) {
+      throw std::invalid_argument(
+          "build_frozen_tables: TableBuild::kLegacy is single-thread-only "
+          "(each draw permutes the candidate buffer the next draw reads); "
+          "use TableBuild::kFast with threads");
+    }
+    return build_frozen_tables_sharded(config, rng,
+                                       util::resolve_threads(*config.threads));
+  }
   const topics::TopicDag& dag = *config.dag;
   const bool stillborn = config.failure_mode == FrozenFailureMode::kStillborn;
   const bool fast = config.table_build == TableBuild::kFast;
@@ -290,55 +426,185 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
     frontier.push_back(Coord{publish, publisher});
   }
 
-  while (!frontier.empty()) {
-    ++rounds;
-    next.clear();
-    for (const Coord& coord : frontier) {
-      GroupTables& group = groups[coord.topic];
-      const TopicParams& params = params_for_topic(config, coord.topic);
-      auto& my_result = result.groups[coord.topic];
-      const auto& parents = dag.supers(topics::DagTopicId{coord.topic});
-
-      // (1) Intergroup legs (Fig. 7 lines 3–7): one independent election
-      // per direct supertopic, then pa per table entry. Roots have no
-      // parents and skip this.
-      for (std::size_t slot = 0; slot < parents.size(); ++slot) {
-        const std::uint32_t parent = parents[slot].value;
-        GroupTables& parent_group = groups[parent];
-        protocol::for_each_intergroup_target(
-            params, group.size, group.super_row(coord.index, slot), rng,
-            [&](std::uint32_t target) {
-              ++my_result.inter_sent;
-              if (!delivered_ok(params, parent, parent_group, target)) return;
-              ++result.groups[parent].inter_received;
-              if (delivered[parent][target]) {
-                ++result.groups[parent].duplicate_deliveries;
-                return;
+  if (config.threads.has_value()) {
+    // --- Sharded wave loop: bit-identical for ANY thread count. -----------
+    // The frontier is cut into fixed kWaveChunk blocks; chunk c of round r
+    // draws from rng.fork(kRoundSalt + r).fork(c), reads the round-start
+    // `delivered` flags, and accumulates its sends/receptions locally.
+    // The serial merge then walks chunks IN CHUNK ORDER, resolving
+    // same-round duplicate receptions and building the next frontier —
+    // so neither the streams nor the merge depend on the worker count.
+    // (A NEW stream relative to threads-unset, by design; see the config.)
+    const unsigned threads = util::resolve_threads(*config.threads);
+    struct ChunkState {
+      util::Rng rng{0};
+      std::vector<Coord> accepted;  ///< candidate receptions, emission order
+      std::vector<std::uint32_t> fanout_scratch;
+      // Per-topic counter deltas (dense; topic counts are small).
+      std::vector<std::uint64_t> intra_sent, inter_sent, inter_received,
+          duplicates;
+    };
+    std::vector<ChunkState> chunks;  // indexed by chunk id, reused per round
+    std::vector<std::function<void()>> tasks;
+    while (!frontier.empty()) {
+      ++rounds;
+      next.clear();
+      const std::size_t chunk_count =
+          (frontier.size() + kWaveChunk - 1) / kWaveChunk;
+      if (chunks.size() < chunk_count) chunks.resize(chunk_count);
+      const util::Rng round_base = rng.fork(kRoundSalt + rounds);
+      tasks.clear();
+      for (std::size_t c = 0; c < chunk_count; ++c) {
+        const std::size_t lo = c * kWaveChunk;
+        const std::size_t hi = std::min(frontier.size(), lo + kWaveChunk);
+        tasks.push_back([&, round_base, c, lo, hi] {
+          ChunkState& cs = chunks[c];
+          cs.rng = round_base.fork(c);
+          cs.accepted.clear();
+          cs.intra_sent.assign(dag.size(), 0);
+          cs.inter_sent.assign(dag.size(), 0);
+          cs.inter_received.assign(dag.size(), 0);
+          cs.duplicates.assign(dag.size(), 0);
+          // Chunk-local twin of the serial delivered_ok lambda, drawing
+          // its coins from the chunk's stream.
+          auto chunk_delivered_ok = [&](const TopicParams& params,
+                                        std::uint32_t topic,
+                                        const GroupTables& target_group,
+                                        std::uint32_t target) {
+            if (!protocol::channel_delivers(params.psucc, cs.rng)) {
+              return false;
+            }
+            if (stillborn) {
+              return static_cast<bool>(target_group.alive[target]);
+            }
+            if (churning) {
+              return churn->alive(
+                  topics::ProcessId{pid_offset[topic] + target}, rounds);
+            }
+            return !cs.rng.bernoulli(fail_probability);
+          };
+          for (std::size_t f = lo; f < hi; ++f) {
+            const Coord& coord = frontier[f];
+            const GroupTables& group = groups[coord.topic];
+            const TopicParams& params = params_for_topic(config, coord.topic);
+            const auto& parents =
+                dag.supers(topics::DagTopicId{coord.topic});
+            for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+              const std::uint32_t parent = parents[slot].value;
+              const GroupTables& parent_group = groups[parent];
+              protocol::for_each_intergroup_target(
+                  params, group.size, group.super_row(coord.index, slot),
+                  cs.rng, [&](std::uint32_t target) {
+                    ++cs.inter_sent[coord.topic];
+                    if (!chunk_delivered_ok(params, parent, parent_group,
+                                            target)) {
+                      return;
+                    }
+                    ++cs.inter_received[parent];
+                    if (delivered[parent][target]) {
+                      // Delivered in an EARLIER round — a duplicate no
+                      // matter what other chunks emit; classify in-chunk.
+                      ++cs.duplicates[parent];
+                      return;
+                    }
+                    // Same-round duplicates resolve at the merge.
+                    cs.accepted.push_back(Coord{parent, target});
+                  });
+            }
+            protocol::fanout_targets_into(params, group.size,
+                                          group.topic_row(coord.index),
+                                          cs.rng, cs.fanout_scratch);
+            for (std::uint32_t target : cs.fanout_scratch) {
+              ++cs.intra_sent[coord.topic];
+              if (!chunk_delivered_ok(params, coord.topic, group, target)) {
+                continue;
               }
-              delivered[parent][target] = true;
-              note_delivery(parent, rounds);
-              next.push_back(Coord{parent, target});
-            });
+              if (delivered[coord.topic][target]) {
+                ++cs.duplicates[coord.topic];
+                continue;
+              }
+              cs.accepted.push_back(Coord{coord.topic, target});
+            }
+          }
+        });
       }
-
-      // (2) Intra-group gossip leg (Fig. 7 lines 8–14): fanout distinct
-      // targets, without replacement (the Ω set).
-      protocol::fanout_targets_into(params, group.size,
-                                    group.topic_row(coord.index), rng,
-                                    fanout_scratch);
-      for (std::uint32_t target : fanout_scratch) {
-        ++my_result.intra_sent;
-        if (!delivered_ok(params, coord.topic, group, target)) continue;
-        if (delivered[coord.topic][target]) {
-          ++my_result.duplicate_deliveries;
-          continue;
+      util::run_parallel(tasks, threads);
+      // Merge in chunk order — the one order every thread count agrees on.
+      for (std::size_t c = 0; c < chunk_count; ++c) {
+        ChunkState& cs = chunks[c];
+        for (std::uint32_t topic = 0; topic < dag.size(); ++topic) {
+          auto& group_result = result.groups[topic];
+          group_result.intra_sent += cs.intra_sent[topic];
+          group_result.inter_sent += cs.inter_sent[topic];
+          group_result.inter_received += cs.inter_received[topic];
+          group_result.duplicate_deliveries += cs.duplicates[topic];
         }
-        delivered[coord.topic][target] = true;
-        note_delivery(coord.topic, rounds);
-        next.push_back(Coord{coord.topic, target});
+        for (const Coord& coord : cs.accepted) {
+          if (delivered[coord.topic][coord.index]) {
+            ++result.groups[coord.topic].duplicate_deliveries;
+            continue;
+          }
+          delivered[coord.topic][coord.index] = true;
+          note_delivery(coord.topic, rounds);
+          next.push_back(coord);
+        }
       }
+      frontier.swap(next);
     }
-    frontier.swap(next);
+  } else {
+    // --- Serial wave loop (threads unset): the historical stream. ---------
+    while (!frontier.empty()) {
+      ++rounds;
+      next.clear();
+      for (const Coord& coord : frontier) {
+        GroupTables& group = groups[coord.topic];
+        const TopicParams& params = params_for_topic(config, coord.topic);
+        auto& my_result = result.groups[coord.topic];
+        const auto& parents = dag.supers(topics::DagTopicId{coord.topic});
+
+        // (1) Intergroup legs (Fig. 7 lines 3–7): one independent election
+        // per direct supertopic, then pa per table entry. Roots have no
+        // parents and skip this.
+        for (std::size_t slot = 0; slot < parents.size(); ++slot) {
+          const std::uint32_t parent = parents[slot].value;
+          GroupTables& parent_group = groups[parent];
+          protocol::for_each_intergroup_target(
+              params, group.size, group.super_row(coord.index, slot), rng,
+              [&](std::uint32_t target) {
+                ++my_result.inter_sent;
+                if (!delivered_ok(params, parent, parent_group, target)) {
+                  return;
+                }
+                ++result.groups[parent].inter_received;
+                if (delivered[parent][target]) {
+                  ++result.groups[parent].duplicate_deliveries;
+                  return;
+                }
+                delivered[parent][target] = true;
+                note_delivery(parent, rounds);
+                next.push_back(Coord{parent, target});
+              });
+        }
+
+        // (2) Intra-group gossip leg (Fig. 7 lines 8–14): fanout distinct
+        // targets, without replacement (the Ω set).
+        protocol::fanout_targets_into(params, group.size,
+                                      group.topic_row(coord.index), rng,
+                                      fanout_scratch);
+        for (std::uint32_t target : fanout_scratch) {
+          ++my_result.intra_sent;
+          if (!delivered_ok(params, coord.topic, group, target)) continue;
+          if (delivered[coord.topic][target]) {
+            ++my_result.duplicate_deliveries;
+            continue;
+          }
+          delivered[coord.topic][target] = true;
+          note_delivery(coord.topic, rounds);
+          next.push_back(Coord{coord.topic, target});
+        }
+      }
+      frontier.swap(next);
+    }
   }
 
   // --- Final accounting. --------------------------------------------------

@@ -88,6 +88,20 @@ struct FrozenSimConfig {
   std::uint64_t seed = 1;
 
   TableBuild table_build = TableBuild::kLegacy;
+
+  /// Intra-run parallelism. Unset (default): the historical fully-serial
+  /// RNG streams — every existing per-seed golden stays bit-identical.
+  /// Set (0 = hardware concurrency): the SHARDED streams — table rows and
+  /// wave frontiers are cut into fixed-size chunks, each chunk draws from
+  /// its own stream forked from (seed, phase, chunk), and chunk results
+  /// merge in chunk order. Chunking never depends on the worker count, so
+  /// sharded results are bit-identical for EVERY threads value (1, 2, 8,
+  /// ...) — but they are a NEW stream relative to unset, exactly like
+  /// TableBuild::kFast is a new stream relative to kLegacy. kLegacy's
+  /// stream is inherently sequential (each draw permutes the candidate
+  /// buffer the next draw reads), so kLegacy + threads throws
+  /// std::invalid_argument: it is documented single-thread-only.
+  std::optional<unsigned> threads;
 };
 
 // The CSR membership arena itself (core::GroupTables) lives in

@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <span>
+
+#include "util/parallel.hpp"
 
 namespace dam::core {
 
 const std::unordered_set<ProcessId> DamSystem::kNoDeliveries{};
 
 namespace {
+
+/// Joiners per spawn-fill task (Config::threads set). Fixed, so the chunk
+/// grid — and with it every joiner's stream — never depends on the worker
+/// count.
+constexpr std::size_t kSpawnChunk = 512;
+
+/// Fork salt of the sharded per-batch arena-fill stream.
+constexpr std::uint64_t kSpawnBatchSalt = 0x5BA7C4ULL;
+
 net::Transport::Config effective_transport(const DamSystem::Config& config) {
   net::Transport::Config t = config.transport;
   // Unless the caller set an explicit channel quality, use the protocol
@@ -128,36 +140,121 @@ std::vector<ProcessId> DamSystem::spawn_group(TopicId topic,
   }
   arena->super_entries.resize(arena->super_offsets.back());
 
-  for (std::size_t i = 0; i < count; ++i) {
-    const ProcessId id = registry_.add_process(topic);
-    ids.push_back(id);
-    while (neighborhood_.process_count() < registry_.process_count()) {
-      neighborhood_.add_process(config_.neighborhood_degree, rng_);
+  if (config_.threads.has_value()) {
+    // Sharded fill (Config::threads set). Three phases:
+    //
+    //   A (serial)   register every joiner and wire its node — the only
+    //                steps that consume rng_ (neighborhood growth) or
+    //                mutate shared engine state.
+    //   B (parallel) fill the arena rows. Joiner i draws from its own
+    //                stream batch_base.fork(i), sampling INDICES into its
+    //                join-time snapshot (the initial members, then the
+    //                earlier batch joiners in join order) — a pure
+    //                function of (seed, batch, i), so the rows are
+    //                bit-identical for every threads value. A NEW stream
+    //                versus the serial path's sample_with_undo (which is
+    //                sequential by construction: each draw permutes the
+    //                candidate buffer the next joiner reads).
+    //   C (serial)   adopt the rows. subscribe_shared may launch
+    //                bootstrap floods through the transport, so it runs
+    //                in join order on the engine thread.
+    const std::size_t first_node = nodes_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcessId id = registry_.add_process(topic);
+      ids.push_back(id);
+      while (neighborhood_.process_count() < registry_.process_count()) {
+        neighborhood_.add_process(config_.neighborhood_degree, rng_);
+      }
+      nodes_.push_back(std::make_unique<DamNode>(
+          id, topic, hierarchy_, config_.node, initial + i + 1,
+          rng_.fork(id.value), this));
     }
-    const std::size_t group_size = registry_.group_size(topic);
-    auto node = std::make_unique<DamNode>(id, topic, hierarchy_, config_.node,
-                                          group_size, rng_.fork(id.value),
-                                          this);
-    const std::size_t view = config_.node.params.view_capacity(group_size);
-    ProcessId* row = arena->topic_entries.data() + arena->topic_offsets[i];
-    const std::size_t drawn = rng_.sample_with_undo(
-        std::span<ProcessId>(candidates), view, row);
-    // The sampler must fill exactly the precomputed row, or later rows
-    // would shear against their offsets.
-    assert(drawn == arena->topic_offsets[i + 1] - arena->topic_offsets[i]);
-    const std::span<const ProcessId> contacts(row, drawn);
 
-    std::span<const ProcessId> super_contacts;
-    if (super_topic) {
-      ProcessId* super_row =
-          arena->super_entries.data() + arena->super_offsets[i];
-      rng_.sample_with_undo(std::span<ProcessId>(super_pool),
-                            config_.node.params.z, super_row);
-      super_contacts = {super_row, super_width};
+    const util::Rng batch_base = rng_.fork(kSpawnBatchSalt);
+    GroupViewArena* const rows = arena.get();
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve((count + kSpawnChunk - 1) / kSpawnChunk);
+    for (std::size_t lo = 0; lo < count; lo += kSpawnChunk) {
+      const std::size_t hi = std::min(count, lo + kSpawnChunk);
+      tasks.push_back([this, rows, &candidates, &super_pool, &ids, batch_base,
+                       lo, hi, initial, super_width] {
+        std::vector<std::uint32_t> scratch;
+        for (std::size_t i = lo; i < hi; ++i) {
+          util::Rng joiner_rng = batch_base.fork(i);
+          const std::size_t width =
+              rows->topic_offsets[i + 1] - rows->topic_offsets[i];
+          scratch.resize(std::max(width, super_width));
+          ProcessId* row = rows->topic_entries.data() + rows->topic_offsets[i];
+          // width = min(view_capacity, initial + i) <= n, so Floyd fills
+          // exactly the precomputed row.
+          const std::size_t drawn =
+              joiner_rng.draw_distinct_below(initial + i, width,
+                                             scratch.data());
+          assert(drawn == width);
+          for (std::size_t e = 0; e < drawn; ++e) {
+            const std::size_t idx = scratch[e];
+            row[e] = idx < initial ? candidates[idx] : ids[idx - initial];
+          }
+          if (super_width > 0) {
+            ProcessId* super_row =
+                rows->super_entries.data() + rows->super_offsets[i];
+            const std::size_t super_drawn = joiner_rng.draw_distinct_below(
+                super_pool.size(), config_.node.params.z, scratch.data());
+            assert(super_drawn == super_width);
+            for (std::size_t e = 0; e < super_drawn; ++e) {
+              super_row[e] = super_pool[scratch[e]];
+            }
+          }
+        }
+      });
     }
-    nodes_.push_back(std::move(node));
-    nodes_.back()->subscribe_shared(contacts, super_contacts, super_topic);
-    candidates.push_back(id);  // visible to the next joiner
+    util::run_parallel(tasks, util::resolve_threads(*config_.threads));
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::span<const ProcessId> contacts(
+          arena->topic_entries.data() + arena->topic_offsets[i],
+          arena->topic_offsets[i + 1] - arena->topic_offsets[i]);
+      std::span<const ProcessId> super_contacts;
+      if (super_topic) {
+        super_contacts = {arena->super_entries.data() + arena->super_offsets[i],
+                          super_width};
+      }
+      nodes_[first_node + i]->subscribe_shared(contacts, super_contacts,
+                                               super_topic);
+    }
+  } else {
+    // Serial fill (threads unset): the historical sampling stream.
+    for (std::size_t i = 0; i < count; ++i) {
+      const ProcessId id = registry_.add_process(topic);
+      ids.push_back(id);
+      while (neighborhood_.process_count() < registry_.process_count()) {
+        neighborhood_.add_process(config_.neighborhood_degree, rng_);
+      }
+      const std::size_t group_size = registry_.group_size(topic);
+      auto node = std::make_unique<DamNode>(id, topic, hierarchy_,
+                                            config_.node, group_size,
+                                            rng_.fork(id.value), this);
+      const std::size_t view = config_.node.params.view_capacity(group_size);
+      ProcessId* row = arena->topic_entries.data() + arena->topic_offsets[i];
+      const std::size_t drawn = rng_.sample_with_undo(
+          std::span<ProcessId>(candidates), view, row);
+      // The sampler must fill exactly the precomputed row, or later rows
+      // would shear against their offsets.
+      assert(drawn == arena->topic_offsets[i + 1] - arena->topic_offsets[i]);
+      const std::span<const ProcessId> contacts(row, drawn);
+
+      std::span<const ProcessId> super_contacts;
+      if (super_topic) {
+        ProcessId* super_row =
+            arena->super_entries.data() + arena->super_offsets[i];
+        rng_.sample_with_undo(std::span<ProcessId>(super_pool),
+                              config_.node.params.z, super_row);
+        super_contacts = {super_row, super_width};
+      }
+      nodes_.push_back(std::move(node));
+      nodes_.back()->subscribe_shared(contacts, super_contacts, super_topic);
+      candidates.push_back(id);  // visible to the next joiner
+    }
   }
   view_arenas_.push_back(std::move(arena));
   super_cache_.clear();

@@ -35,6 +35,16 @@ class DamSystem final : public Env {
     bool auto_wire_super_tables = false;   ///< skip bootstrap: fill sTables
                                            ///< from global knowledge (fast
                                            ///< path for benches/examples)
+
+    /// Intra-run parallelism for spawn_group's view-arena fill. Unset
+    /// (default): the historical serial sampling stream. Set (0 =
+    /// hardware): each joiner samples its rows from its own stream forked
+    /// from (batch, joiner index) — bit-identical for EVERY threads value,
+    /// but a NEW stream versus unset (the frozen engine's
+    /// FrozenSimConfig::threads contract, applied to the dynamic lane).
+    /// Only the batch arena fill shards; node wiring, subscription, and
+    /// the round loop stay serial.
+    std::optional<unsigned> threads;
   };
 
   DamSystem(const topics::TopicHierarchy& hierarchy, Config config);

@@ -8,10 +8,28 @@ namespace dam::exp {
 
 namespace {
 
-const char* const kKnownKeys[] = {"a",     "b",     "c",      "g",
-                                  "psucc", "tau",   "z",      "alive",
-                                  "scale", "depth", "fanin",  "runs",
-                                  "rate",  "zipf_s"};
+const char* const kKnownKeys[] = {
+    "a",     "b",      "c",     "g",          "psucc",      "tau",
+    "z",     "alive",  "scale", "depth",      "fanin",      "runs",
+    "rate",  "zipf_s", "crash_frac", "leave_frac", "join_frac"};
+
+/// Shared guard of the dynamic-lane churn axes: the frozen engine has no
+/// traffic stream, so sweeping a churn knob there would run N bit-identical
+/// cells mislabeled as different churn levels.
+void require_dynamic_churn_axis(const sim::Scenario& scenario,
+                                std::string_view key, double value) {
+  if (scenario.engine != sim::EngineKind::kDynamic) {
+    throw std::invalid_argument(
+        "grid: " + std::string(key) +
+        " is a dynamic-lane axis (the frozen engine has no subscription "
+        "churn stream; its outage schedule is the churn-preset alive "
+        "sweep); pick a kDynamic scenario");
+  }
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument("grid: " + std::string(key) +
+                                " must be in [0, 1]");
+  }
+}
 
 bool known_key(std::string_view key) {
   for (const char* candidate : kKnownKeys) {
@@ -266,6 +284,25 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
       }
       scenario.workload.popularity.kind = workload::PopularityKind::kZipf;
       scenario.workload.popularity.zipf_s = value;
+    } else if (key == "crash_frac") {
+      // Dynamic-lane churn axis: P(an initial process suffers one
+      // crash/recover outage during the stream).
+      require_dynamic_churn_axis(scenario, key, value);
+      scenario.workload.churn.crash_fraction = value;
+    } else if (key == "leave_frac") {
+      // Dynamic-lane churn axis: P(an initial process leaves for good).
+      require_dynamic_churn_axis(scenario, key, value);
+      scenario.workload.churn.leave_fraction = value;
+    } else if (key == "join_frac") {
+      // Dynamic-lane churn axis: fresh joins over the horizon as a
+      // fraction of the INITIAL population — a ratio, so one grid spec
+      // sweeps sensibly across `scale` values (churn.joins itself is an
+      // absolute count).
+      require_dynamic_churn_axis(scenario, key, value);
+      std::size_t initial = 0;
+      for (const std::size_t size : scenario.group_sizes) initial += size;
+      scenario.workload.churn.joins = static_cast<std::size_t>(
+          std::llround(value * static_cast<double>(initial)));
     } else if (key == "runs") {
       // Bounded on both sides: a huge value would wrap the int cast and
       // silently run ~1.4e9 sweeps instead of erroring.

@@ -45,10 +45,20 @@
 //                               uniform), so "zipf_s=0:2:0.5" sweeps skew
 //                               on any dynamic preset; rejected on frozen
 //                               scenarios;
+//   crash_frac, leave_frac    — dynamic-lane churn axes, domain [0, 1]:
+//                               P(an initial process crashes/recovers once)
+//                               and P(it leaves for good); rejected on
+//                               frozen scenarios (their outage model is
+//                               the alive sweep, not a churn stream);
+//   join_frac                 — dynamic-lane churn axis, domain [0, 1]:
+//                               fresh joins over the horizon as a fraction
+//                               of the initial population (resolved to the
+//                               absolute churn.joins count when applied);
 //   runs                      — runs per sweep point.
 //
 // Axes apply in declaration order, so "depth=4 scale=10" builds the chain
-// first and then scales it.
+// first and then scales it — and "scale=10 join_frac=0.2" resolves the
+// join count against the scaled population.
 #pragma once
 
 #include <string>

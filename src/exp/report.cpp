@@ -206,6 +206,7 @@ void BenchReport::write(std::ostream& out) const {
       out << '"' << json_escape(key) << "\":" << json_number(value);
     }
     out << "},\"jobs\":" << sweep.jobs
+        << ",\"threads\":" << sweep.threads
         << ",\"wall_seconds\":" << json_number(wall)
         << ",\"table_build_seconds\":"
         << json_number(sweep.table_build_seconds)

@@ -2,84 +2,22 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
 #include "core/frozen_sim.hpp"
+#include "util/parallel.hpp"
 #include "workload/driver.hpp"
 
 namespace dam::exp {
 
-unsigned resolve_jobs(unsigned jobs) {
-  if (jobs != 0) return jobs;
-  const unsigned hardware = std::thread::hardware_concurrency();
-  return hardware == 0 ? 1 : hardware;
-}
+// The pool itself lives in util/parallel so the intra-run chunk loops
+// (core/frozen_sim, core/system) share one scheduler with the sweep
+// runner; these forwarders keep the historical exp-layer entry points.
+unsigned resolve_jobs(unsigned jobs) { return util::resolve_threads(jobs); }
 
 void run_parallel(const std::vector<std::function<void()>>& tasks,
                   unsigned jobs) {
-  if (tasks.empty()) return;
-  jobs = resolve_jobs(jobs);
-  if (jobs > tasks.size()) jobs = static_cast<unsigned>(tasks.size());
-
-  struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::size_t> pending;
-  };
-  std::vector<WorkerQueue> queues(jobs);
-  // Deal round-robin so every worker starts with a spread of the grid, not
-  // one contiguous (and possibly uniformly heavy) block.
-  for (std::size_t task = 0; task < tasks.size(); ++task) {
-    queues[task % jobs].pending.push_back(task);
-  }
-
-  std::mutex error_mutex;
-  std::exception_ptr first_error = nullptr;
-
-  auto worker = [&](unsigned self) {
-    for (;;) {
-      std::size_t task = 0;
-      bool found = false;
-      {
-        WorkerQueue& own = queues[self];
-        std::lock_guard<std::mutex> lock(own.mutex);
-        if (!own.pending.empty()) {
-          task = own.pending.back();  // own work: LIFO, cache-warm end
-          own.pending.pop_back();
-          found = true;
-        }
-      }
-      for (unsigned offset = 1; !found && offset < jobs; ++offset) {
-        WorkerQueue& victim = queues[(self + offset) % jobs];
-        std::lock_guard<std::mutex> lock(victim.mutex);
-        if (!victim.pending.empty()) {
-          task = victim.pending.front();  // steal from the cold end
-          victim.pending.pop_front();
-          found = true;
-        }
-      }
-      // Tasks never enqueue new tasks, so one full empty scan means done.
-      if (!found) return;
-      try {
-        tasks[task]();
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error == nullptr) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(jobs - 1);
-  for (unsigned self = 1; self < jobs; ++self) {
-    threads.emplace_back(worker, self);
-  }
-  worker(0);  // the calling thread is worker 0
-  for (std::thread& thread : threads) thread.join();
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  util::run_parallel(tasks, jobs);
 }
 
 SweepResult run_sweep(const sim::Scenario& scenario,
@@ -171,6 +109,9 @@ SweepResult run_sweep(const sim::Scenario& scenario,
   // JSON "jobs" field feeds perf-trajectory comparisons.
   result.jobs = static_cast<unsigned>(
       std::max<std::size_t>(1, std::min<std::size_t>(jobs, tasks.size())));
+  result.threads = scenario.threads.has_value()
+                       ? util::resolve_threads(*scenario.threads)
+                       : 1;
   result.points.reserve(scenario.alive_sweep.size());
   for (std::size_t pt = 0; pt < scenario.alive_sweep.size(); ++pt) {
     ScenarioPoint point = make_point(scenario, scenario.alive_sweep[pt]);

@@ -19,11 +19,14 @@
 //   * Constant memory — workers stream runs into Welford partials
 //     (exp/aggregate); memory is O(points × shards), never O(runs).
 //
-// The pool itself (run_parallel) is a work-stealing scheduler: tasks are
-// dealt to per-worker deques up front; a worker drains its own deque from
-// the back and steals from the front of its neighbors' when it runs dry.
-// Shards of heavyweight points (large groups, low alive fractions) thus
-// migrate to idle workers instead of serializing behind one thread.
+// The pool itself (run_parallel) is the shared work-stealing scheduler in
+// util/parallel: tasks are dealt to per-worker deques up front; a worker
+// drains its own deque from the back and steals from the front of its
+// neighbors' when it runs dry. Shards of heavyweight points (large groups,
+// low alive fractions) thus migrate to idle workers instead of serializing
+// behind one thread. `--jobs` controls THIS cross-run pool; the orthogonal
+// intra-run knob (Scenario::threads, `--threads`) parallelizes inside one
+// engine run and rides the same scheduler.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +54,12 @@ struct SweepResult {
   double wall_seconds = 0.0;
   std::uint64_t total_runs = 0;    ///< engine runs executed
   std::uint64_t total_events = 0;  ///< messages sent across all runs
-  unsigned jobs = 1;               ///< resolved worker count
+  unsigned jobs = 1;               ///< resolved cross-run worker count
+
+  /// Resolved INTRA-run worker count (Scenario::threads; 1 when the
+  /// scenario runs the serial legacy streams). Reported in the bench JSON
+  /// so perf trajectories can tell the two parallelism levels apart.
+  unsigned threads = 1;
 
   /// Per-run engine time summed across all runs (CPU-seconds, not wall:
   /// runs overlap across workers), split into membership-table

@@ -44,6 +44,7 @@ core::FrozenSimConfig Scenario::config_for(const topics::TopicDag& dag,
   config.publish_topic = topics::DagTopicId{publish_topic};
   config.seed = seed_for(alive_fraction, run);
   config.table_build = table_build;
+  config.threads = threads;
   return config;
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -66,6 +67,14 @@ struct Scenario {
   /// RNG stream bit-for-bit; the giant presets use kFast (new stream,
   /// statistically equivalent, fastest at S >= 1e5).
   core::TableBuild table_build = core::TableBuild::kLegacy;
+
+  /// Intra-run parallelism (`--threads`; orthogonal to the lab's cross-run
+  /// `--jobs`). Unset: the historical fully-serial engine streams. Set
+  /// (0 = hardware): the sharded streams — chunked table fills, wave
+  /// frontiers, and spawn batches, bit-identical for every threads value
+  /// but a NEW stream versus unset (see core::FrozenSimConfig::threads).
+  /// Requires table_build == kFast on frozen scenarios.
+  std::optional<unsigned> threads;
 
   /// X axis: alive fractions to sweep (a single point is a sweep of one).
   std::vector<double> alive_sweep{1.0};

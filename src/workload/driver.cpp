@@ -158,6 +158,7 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   config.node.recovery.enabled = workload.engine.recovery_enabled;
   config.node.recovery.history_size = workload.engine.recovery_history;
   config.node.recovery.digest_size = workload.engine.recovery_digest;
+  config.threads = scenario.threads;  // sharded spawn-batch fill when set
   core::DamSystem system(binding.hierarchy, config);
 
   // --- Traffic stream and failure schedule. -------------------------------

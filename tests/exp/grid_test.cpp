@@ -215,6 +215,59 @@ TEST(GridParse, WorkloadAxesAreKnownKeys) {
   EXPECT_EQ(axes[1].values, (std::vector<double>{0, 1, 2}));
 }
 
+TEST(GridApply, ChurnFractionsSetTheChurnTrace) {
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  scenario.engine = sim::EngineKind::kDynamic;
+  apply_grid_point(scenario, {{"crash_frac", 0.25}, {"leave_frac", 0.1}});
+  EXPECT_DOUBLE_EQ(scenario.workload.churn.crash_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(scenario.workload.churn.leave_fraction, 0.1);
+  // Fractions are probabilities; the traffic generator validates [0, 1]
+  // too, but the grid must fail fast with the axis name in the message.
+  EXPECT_THROW(apply_grid_point(scenario, {{"crash_frac", 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"leave_frac", -0.1}}),
+               std::invalid_argument);
+}
+
+TEST(GridApply, JoinFracResolvesAgainstTheInitialPopulation) {
+  sim::Scenario scenario =
+      sim::make_linear_scenario("grid", "grid", {10, 100, 1000});
+  scenario.engine = sim::EngineKind::kDynamic;
+  apply_grid_point(scenario, {{"join_frac", 0.2}});
+  EXPECT_EQ(scenario.workload.churn.joins, 222u);  // 0.2 * 1110
+  // Declaration order matters: scaling first doubles the join count too.
+  sim::Scenario scaled =
+      sim::make_linear_scenario("grid", "grid", {10, 100, 1000});
+  scaled.engine = sim::EngineKind::kDynamic;
+  apply_grid_point(scaled, {{"scale", 2.0}, {"join_frac", 0.2}});
+  EXPECT_EQ(scaled.workload.churn.joins, 444u);
+  EXPECT_THROW(apply_grid_point(scenario, {{"join_frac", 1.01}}),
+               std::invalid_argument);
+}
+
+TEST(GridApply, ChurnAxesRejectFrozenScenarios) {
+  // Frozen scenarios model outages through the alive sweep, not a churn
+  // stream; a churn axis there would sweep N bit-identical cells.
+  sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
+  ASSERT_EQ(scenario.engine, sim::EngineKind::kFrozen);
+  EXPECT_THROW(apply_grid_point(scenario, {{"crash_frac", 0.2}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"leave_frac", 0.2}}),
+               std::invalid_argument);
+  EXPECT_THROW(apply_grid_point(scenario, {{"join_frac", 0.2}}),
+               std::invalid_argument);
+}
+
+TEST(GridParse, ChurnAxesAreKnownKeys) {
+  const auto axes = parse_grid("crash_frac=0:0.4:0.2 leave_frac=0.1 "
+                               "join_frac=0,0.5");
+  ASSERT_EQ(axes.size(), 3u);
+  EXPECT_EQ(axes[0].key, "crash_frac");
+  EXPECT_EQ(axes[0].values, (std::vector<double>{0.0, 0.2, 0.4}));
+  EXPECT_EQ(axes[1].key, "leave_frac");
+  EXPECT_EQ(axes[2].key, "join_frac");
+}
+
 TEST(GridApply, FaninRejectsOutOfDomain) {
   sim::Scenario scenario = sim::make_linear_scenario("grid", "grid", {10});
   EXPECT_THROW(apply_grid_point(scenario, {{"fanin", 0.0}}),

@@ -6,9 +6,13 @@
 // cell) and compares runs/sec and events/sec. Exits 1 when any matched
 // sweep regressed by more than the threshold (default 20% — the CI gate),
 // 2 on usage/parse errors, 0 otherwise. Sweeps present on only one side
-// are reported but never fail the gate (presets come and go); timing
-// fields other than the two throughput rates are ignored, so documents
-// from different schema minor revisions still diff.
+// are reported but never fail the gate (presets come and go). The
+// per-sweep context fields — jobs, threads (intra-run workers), and the
+// per-phase walls table_build_seconds / dissemination_seconds — are read
+// when present and shown in the report (a threads mismatch between the
+// two documents is flagged: different worker counts are not a like-for-
+// like throughput comparison), but only the two throughput rates gate, so
+// documents from different schema minor revisions still diff.
 //
 // The CI bench-smoke job runs this against the committed
 // bench/BENCH_baseline.json with a loose threshold (hosted runners differ
@@ -36,6 +40,12 @@ struct SweepRates {
   SweepKey key;
   double runs_per_sec = 0.0;
   double events_per_sec = 0.0;
+  // Context, displayed but never gated: worker counts and where the wall
+  // time went (tables/spawn vs dissemination/replay).
+  double jobs = 1.0;
+  double threads = 1.0;
+  double table_build_seconds = 0.0;
+  double dissemination_seconds = 0.0;
 };
 
 std::string grid_label_of(const dam::util::json::Value& sweep) {
@@ -66,6 +76,11 @@ std::vector<SweepRates> load_rates(const std::string& path) {
     entry.key.grid = grid_label_of(sweep);
     entry.runs_per_sec = sweep.number_or("runs_per_sec", 0.0);
     entry.events_per_sec = sweep.number_or("events_per_sec", 0.0);
+    entry.jobs = sweep.number_or("jobs", 1.0);
+    entry.threads = sweep.number_or("threads", 1.0);
+    entry.table_build_seconds = sweep.number_or("table_build_seconds", 0.0);
+    entry.dissemination_seconds =
+        sweep.number_or("dissemination_seconds", 0.0);
     rates.push_back(std::move(entry));
   }
   return rates;
@@ -122,6 +137,28 @@ int main(int argc, char** argv) {
         continue;
       }
       ++matched;
+      if (base.threads != it->threads || base.jobs != it->jobs) {
+        // Not a gate: per-sweep throughput at different worker counts is
+        // still worth seeing — but it is not a like-for-like comparison,
+        // so say so next to any verdict below.
+        std::cout << "note       " << base.key.scenario;
+        if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+        std::cout << " worker counts differ (baseline jobs="
+                  << util::fixed(base.jobs, 0) << " threads="
+                  << util::fixed(base.threads, 0) << ", current jobs="
+                  << util::fixed(it->jobs, 0) << " threads="
+                  << util::fixed(it->threads, 0) << ")\n";
+      }
+      if (!args.flag("quiet") &&
+          (base.table_build_seconds > 0.0 || it->table_build_seconds > 0.0)) {
+        std::cout << "phases     " << base.key.scenario;
+        if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+        std::cout << " tables/spawn " << util::fixed(base.table_build_seconds, 2)
+                  << "s -> " << util::fixed(it->table_build_seconds, 2)
+                  << "s, dissemination "
+                  << util::fixed(base.dissemination_seconds, 2) << "s -> "
+                  << util::fixed(it->dissemination_seconds, 2) << "s\n";
+      }
       const auto check = [&](const char* metric, double before,
                              double after) {
         // A zero baseline rate (degenerate timing) can only be noise —

@@ -14,7 +14,10 @@
 //
 // Aggregates are bit-identical for every --jobs value: run seeds derive
 // from (base_seed, point, run) and shard merge order is fixed (see
-// src/exp/runner.hpp).
+// src/exp/runner.hpp). --threads engages the engines' INTRA-run sharded
+// mode (core/frozen_sim.hpp) — aggregates are likewise bit-identical for
+// every --threads value, but the sharded streams differ from the default
+// serial ones, so pass --threads consistently when diffing bench JSON.
 #include <iostream>
 #include <memory>
 #include <string>
@@ -54,10 +57,18 @@ int main(int argc, char** argv) {
   args.add_option("scenario", "",
                   "comma-separated preset names, or 'all' (see "
                   "--list-scenarios)");
-  args.add_option("jobs", "0", "worker threads (0 = hardware concurrency)");
+  args.add_option("jobs", "0",
+                  "cross-run worker threads: fans (point, run) cells "
+                  "across the pool (0 = hardware concurrency)");
+  args.add_option("threads", "0",
+                  "intra-run worker threads: shards table builds, wave "
+                  "frontiers, and spawn batches inside each run (0 = "
+                  "hardware; omit for the default serial engine streams; "
+                  "frozen scenarios need fast table_build)");
   args.add_option("grid", "",
                   "parameter grid, e.g. \"a=1:4 g=5,10 psucc=0.5:0.9:0.2\" "
-                  "(keys: a b c g psucc tau z alive scale depth fanin runs)");
+                  "(keys: a b c g psucc tau z alive scale depth fanin runs "
+                  "rate zipf_s crash_frac leave_frac join_frac)");
   args.add_option("runs", "0", "override runs per sweep point (0 = preset)");
   args.add_option("shards", "32",
                   "shards per sweep point (fixed reduction shape; advanced)");
@@ -103,8 +114,10 @@ int main(int argc, char** argv) {
     }
 
     const auto grid_points = exp::expand_grid(exp::parse_grid(args.str("grid")));
-    if (args.integer("jobs") < 0 || args.integer("shards") < 1) {
-      std::cerr << "damlab: need --jobs >= 0 and --shards >= 1\n";
+    if (args.integer("jobs") < 0 || args.integer("shards") < 1 ||
+        args.integer("threads") < 0) {
+      std::cerr << "damlab: need --jobs >= 0, --threads >= 0, and "
+                   "--shards >= 1\n";
       return 2;
     }
     exp::RunnerOptions options;
@@ -127,6 +140,12 @@ int main(int argc, char** argv) {
         if (runs_override > 0) {
           scenario.runs = static_cast<int>(runs_override);
         }
+        // Tri-state: an omitted --threads keeps the preset's value (for
+        // almost all presets: unset, the serial streams); --threads=0
+        // means "hardware concurrency", like --jobs=0.
+        if (args.provided("threads")) {
+          scenario.threads = static_cast<unsigned>(args.integer("threads"));
+        }
         exp::apply_grid_point(scenario, cell);
         const exp::SweepResult sweep = exp::run_sweep(scenario, options);
         if (!args.flag("quiet")) {
@@ -142,7 +161,8 @@ int main(int argc, char** argv) {
                                              sweep.wall_seconds
                                        : 0.0,
                                    0)
-                    << " runs/s, jobs=" << sweep.jobs << "; engine time "
+                    << " runs/s, jobs=" << sweep.jobs << ", threads="
+                    << sweep.threads << "; engine time "
                     << util::fixed(sweep.table_build_seconds, 2)
                     << "s tables + "
                     << util::fixed(sweep.dissemination_seconds, 2)

@@ -1,7 +1,8 @@
 // damsim — command-line driver for the unified frozen-table engine.
 //
 // Two modes, both executed by the parallel experiment runner (src/exp);
-// results are bit-identical for every --jobs value:
+// results are bit-identical for every --jobs value (cross-run fan-out)
+// and, separately, for every --threads value (intra-run sharding):
 //  * ad-hoc linear hierarchy, every parameter exposed as a flag:
 //      damsim --sizes=10,100,1000 --alive=0.7 --runs=100
 //      damsim --sweep --csv=out.csv --g=10 --z=5 --jobs=4
@@ -47,7 +48,14 @@ int main(int argc, char** argv) {
   args.add_option("alive", "1.0", "fraction of alive processes");
   args.add_option("runs", "100", "simulation runs per data point");
   args.add_option("seed", "1", "base random seed");
-  args.add_option("jobs", "0", "worker threads (0 = hardware concurrency)");
+  args.add_option("jobs", "0",
+                  "cross-run worker threads: fans (point, run) cells "
+                  "across the pool (0 = hardware concurrency)");
+  args.add_option("threads", "0",
+                  "intra-run worker threads: shards table builds and wave "
+                  "frontiers inside each run (0 = hardware; omit for the "
+                  "default serial engine streams; implies fast table_build "
+                  "in ad-hoc mode)");
   args.add_option("b", "3", "topic-table capacity factor");
   args.add_option("c", "5", "gossip fanout constant");
   args.add_option("g", "5", "expected intergroup links (psel = g/S)");
@@ -80,8 +88,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (args.integer("jobs") < 0) {
-      std::cerr << "damsim: --jobs must be >= 0\n";
+    if (args.integer("jobs") < 0 || args.integer("threads") < 0) {
+      std::cerr << "damsim: --jobs and --threads must be >= 0\n";
       return 2;
     }
     exp::RunnerOptions options;
@@ -98,6 +106,9 @@ int main(int argc, char** argv) {
       // Presets carry their own run count; an explicit --runs overrides it.
       if (args.provided("runs") && args.integer("runs") > 0) {
         scenario.runs = static_cast<int>(args.integer("runs"));
+      }
+      if (args.provided("threads")) {
+        scenario.threads = static_cast<unsigned>(args.integer("threads"));
       }
       std::cout << "\n=== scenario " << scenario.name << " ===\n"
                 << scenario.summary << "\n\n";
@@ -121,6 +132,12 @@ int main(int argc, char** argv) {
     scenario.runs = static_cast<int>(args.integer("runs"));
     if (args.flag("dynamic")) {
       scenario.failure_mode = core::FrozenFailureMode::kDynamicPerception;
+    }
+    if (args.provided("threads")) {
+      // The sharded streams need random-access sampling; the legacy
+      // sequential sampler is documented single-thread-only.
+      scenario.table_build = core::TableBuild::kFast;
+      scenario.threads = static_cast<unsigned>(args.integer("threads"));
     }
     if (const auto level = args.integer("publish-level"); level >= 0) {
       scenario.publish_topic = static_cast<std::uint32_t>(level);
