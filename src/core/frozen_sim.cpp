@@ -410,6 +410,14 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
       group_result.first_delivery_round = round;
     }
     group_result.last_delivery_round = round;
+    if (result.deliveries_per_round.size() <= round) {
+      result.deliveries_per_round.resize(round + 1, 0);
+    }
+    ++result.deliveries_per_round[round];
+    // One publication at round 0: latency == delivery round. Both wave
+    // loops reach here in a fixed order (serial emission order, or the
+    // sharded loop's chunk-order merge), so the sketch is deterministic.
+    result.latency_sketch.add(static_cast<double>(round));
   };
 
   // Frontiers are two flat vectors swapped per round; together with the
@@ -624,6 +632,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
         dag.includes(topics::DagTopicId{topic}, config.publish_topic);
     group_result.all_alive_delivered =
         should_receive ? count == group_result.alive : count == 0;
+    if (should_receive) result.expected_deliveries += group_result.alive;
     result.total_messages +=
         group_result.intra_sent + group_result.inter_sent;
   }

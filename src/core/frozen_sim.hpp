@@ -32,6 +32,7 @@
 #include "core/params.hpp"
 #include "core/tables.hpp"
 #include "topics/dag.hpp"
+#include "util/quantiles.hpp"
 #include "util/rng.hpp"
 
 namespace dam::core {
@@ -162,6 +163,22 @@ struct FrozenRunResult {
   std::vector<FrozenGroupResult> groups;  ///< indexed by DagTopicId::value
   std::size_t rounds = 0;                 ///< rounds until quiescence
   std::uint64_t total_messages = 0;
+
+  /// First-time deliveries per round (index = round; round 0 is the
+  /// publisher's own delivery). Counts are order-independent, so the
+  /// timeline is identical between the serial and sharded wave loops.
+  std::vector<std::uint64_t> deliveries_per_round;
+
+  /// Per-delivery latency distribution. With one publication at round 0
+  /// the latency of a delivery IS its round, recorded through the same
+  /// note_delivery path as the timeline (chunk-order merge in the sharded
+  /// loop keeps it deterministic for every thread count).
+  util::QuantileSketch latency_sketch;
+
+  /// Deliveries a perfectly reliable run would make: alive members summed
+  /// over every group the event should reach (the publish topic's ancestor
+  /// closure) — the denominator of the reliability-vs-deadline curve.
+  std::uint64_t expected_deliveries = 0;
 
   /// Wall time split: membership-table construction vs everything after it
   /// (publisher pick + dissemination waves + accounting). At giant S the

@@ -335,6 +335,7 @@ void DamSystem::send(Message&& msg) {
     }
   } else {
     ++counters.control_sent;
+    metrics_.note_control_send(clock_.now());
   }
   if (trace_ != nullptr) {
     sim::TraceEntry entry;

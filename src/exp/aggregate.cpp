@@ -23,6 +23,8 @@ void accumulate_run(ScenarioPoint& point, const core::FrozenRunResult& run) {
   }
   point.total_messages.add(static_cast<double>(run.total_messages));
   point.rounds.add(static_cast<double>(run.rounds));
+  point.latency_sketch.merge(run.latency_sketch);
+  point.expected_deliveries += run.expected_deliveries;
   for (std::size_t topic = 0; topic < run.groups.size(); ++topic) {
     const core::FrozenGroupResult& group = run.groups[topic];
     ScenarioGroupStats& stats = point.groups[topic];
@@ -67,6 +69,13 @@ void accumulate_run(ScenarioPoint& point,
     point.linked_fraction.add(run.linked_fraction);
     point.control_at_link.add(run.control_at_link);
   }
+  point.latency_sketch.merge(run.latency_sketch);
+  point.expected_deliveries += run.expected_deliveries;
+  point.msg_publishes.add(static_cast<double>(run.trace_publishes));
+  point.msg_event_sends.add(static_cast<double>(run.trace_event_sends));
+  point.msg_inter_sends.add(static_cast<double>(run.trace_inter_sends));
+  point.msg_control_sends.add(static_cast<double>(run.trace_control_sends));
+  point.msg_delivers.add(static_cast<double>(run.trace_delivers));
   for (std::size_t topic = 0; topic < run.groups.size(); ++topic) {
     const workload::DynamicGroupResult& group = run.groups[topic];
     ScenarioGroupStats& stats = point.groups[topic];
@@ -106,6 +115,13 @@ void merge_point(ScenarioPoint& into, const ScenarioPoint& shard) {
   into.rounds_to_link.merge(shard.rounds_to_link);
   into.linked_fraction.merge(shard.linked_fraction);
   into.control_at_link.merge(shard.control_at_link);
+  into.latency_sketch.merge(shard.latency_sketch);
+  into.expected_deliveries += shard.expected_deliveries;
+  into.msg_publishes.merge(shard.msg_publishes);
+  into.msg_event_sends.merge(shard.msg_event_sends);
+  into.msg_inter_sends.merge(shard.msg_inter_sends);
+  into.msg_control_sends.merge(shard.msg_control_sends);
+  into.msg_delivers.merge(shard.msg_delivers);
   for (std::size_t topic = 0; topic < into.groups.size(); ++topic) {
     ScenarioGroupStats& to = into.groups[topic];
     const ScenarioGroupStats& from = shard.groups[topic];

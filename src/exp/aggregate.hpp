@@ -17,15 +17,24 @@
 // module (aggregate data model) → exp/runner (execution) → exp/report.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/frozen_sim.hpp"
 #include "sim/scenario.hpp"
+#include "util/quantiles.hpp"
 #include "util/stats.hpp"
 #include "workload/driver.hpp"
 
 namespace dam::exp {
+
+/// Deadlines (in rounds) of the reliability-vs-deadline curve: fraction of
+/// expected deliveries that landed within d rounds of publication, for
+/// each d here. Fixed so every report/baseline/bench_diff document lines
+/// up column for column.
+inline constexpr std::array<std::size_t, 7> kDeadlineGrid{1, 2, 4, 8,
+                                                         16, 32, 64};
 
 /// Aggregates over the runs of one sweep point, per group.
 struct ScenarioGroupStats {
@@ -68,6 +77,36 @@ struct ScenarioPoint {
   util::Accumulator rounds_to_link;
   util::Accumulator linked_fraction;
   util::Accumulator control_at_link;
+
+  // --- Latency-SLO aggregates (both lanes). -------------------------------
+  /// Per-delivery latency distribution pooled over every run of the point.
+  /// accumulate_run merges run sketches in run order and merge_point in
+  /// shard order, so the sketch inherits the bit-identical-for-any-jobs
+  /// contract the Welford accumulators already have.
+  util::QuantileSketch latency_sketch;
+
+  /// Pooled denominator of the reliability-vs-deadline curve: expected
+  /// deliveries summed over runs.
+  std::uint64_t expected_deliveries = 0;
+
+  /// curve(d) = fraction of expected deliveries landing within d rounds,
+  /// clamped to 1 (the sketch may count deliveries to processes that later
+  /// died and left the denominator). 0.0 when nothing was expected.
+  [[nodiscard]] double deadline_fraction(std::size_t deadline) const {
+    if (expected_deliveries == 0) return 0.0;
+    const double fraction =
+        static_cast<double>(
+            latency_sketch.weight_le(static_cast<double>(deadline))) /
+        static_cast<double>(expected_deliveries);
+    return fraction < 1.0 ? fraction : 1.0;
+  }
+
+  // --- Message-class totals (dynamic lane; all-zero for frozen sweeps). ---
+  util::Accumulator msg_publishes;
+  util::Accumulator msg_event_sends;
+  util::Accumulator msg_inter_sends;
+  util::Accumulator msg_control_sends;
+  util::Accumulator msg_delivers;
 };
 
 /// Empty aggregate for one sweep point: group labels/sizes from the

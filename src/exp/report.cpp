@@ -22,9 +22,13 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
   bool show_latency = false;
   bool show_dynamic = false;
   bool show_bootstrap = false;
+  bool show_slo = false;
+  bool show_classes = false;
   for (const ScenarioPoint& point : points) {
     show_dynamic = show_dynamic || point.publications.count() > 0;
     show_bootstrap = show_bootstrap || point.rounds_to_link.count() > 0;
+    show_slo = show_slo || !point.latency_sketch.empty();
+    show_classes = show_classes || point.msg_event_sends.count() > 0;
     for (const ScenarioGroupStats& group : point.groups) {
       show_latency = show_latency || group.first_delivery_round.count() > 0;
     }
@@ -53,6 +57,19 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
     columns.push_back("link rds");
     columns.push_back("linked");
     columns.push_back("ctrl@link");
+  }
+  if (show_slo) {
+    columns.push_back("p50");
+    columns.push_back("p90");
+    columns.push_back("p99");
+    columns.push_back("p999");
+    for (const std::size_t deadline : kDeadlineGrid) {
+      columns.push_back("<=" + std::to_string(deadline));
+    }
+  }
+  if (show_classes) {
+    columns.push_back("ev send");
+    columns.push_back("ctl send");
   }
   columns.push_back("total msgs");
   columns.push_back("rounds");
@@ -83,6 +100,19 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
       cells.push_back(util::fixed(point.linked_fraction.mean(), 3));
       cells.push_back(util::fixed(point.control_at_link.mean(), 0));
     }
+    if (show_slo) {
+      cells.push_back(util::fixed(point.latency_sketch.quantile(0.50), 1));
+      cells.push_back(util::fixed(point.latency_sketch.quantile(0.90), 1));
+      cells.push_back(util::fixed(point.latency_sketch.quantile(0.99), 1));
+      cells.push_back(util::fixed(point.latency_sketch.quantile(0.999), 1));
+      for (const std::size_t deadline : kDeadlineGrid) {
+        cells.push_back(util::fixed(point.deadline_fraction(deadline), 3));
+      }
+    }
+    if (show_classes) {
+      cells.push_back(util::fixed(point.msg_event_sends.mean(), 0));
+      cells.push_back(util::fixed(point.msg_control_sends.mean(), 0));
+    }
     cells.push_back(util::fixed(point.total_messages.mean(), 0));
     cells.push_back(util::fixed(point.rounds.mean(), 1));
     table.row_strings(cells);
@@ -92,31 +122,75 @@ void print_sweep_table(const std::vector<ScenarioPoint>& points,
 }
 
 void csv_report_header(util::CsvWriter& csv) {
-  csv.header({"scenario", "grid", "alive", "topic", "size", "intra_mean",
-              "inter_mean", "recv_mean", "any_recv", "ratio_mean",
-              "ratio_ci95", "all_alive", "dup_mean", "first_mean",
-              "last_mean", "ctrl_sent_mean", "total_msgs_mean", "rounds_mean",
-              "pubs_mean", "reliab_mean", "latency_mean", "latency_max_mean",
-              "ctrl_msgs_mean"});
+  std::vector<std::string> columns{
+      "scenario", "grid", "alive", "topic", "size", "intra_mean",
+      "inter_mean", "recv_mean", "any_recv", "ratio_mean",
+      "ratio_ci95", "all_alive", "dup_mean", "first_mean",
+      "last_mean", "ctrl_sent_mean", "total_msgs_mean", "rounds_mean",
+      "pubs_mean", "reliab_mean", "latency_mean", "latency_max_mean",
+      "ctrl_msgs_mean",
+      // Latency-SLO block (point-level, repeated per group row).
+      "latency_p50", "latency_p90", "latency_p99", "latency_p999",
+      "sketch_deliveries", "expected_deliveries"};
+  for (const std::size_t deadline : kDeadlineGrid) {
+    columns.push_back("within_" + std::to_string(deadline));
+  }
+  // Message-class totals (dynamic lane; zero for frozen sweeps).
+  columns.insert(columns.end(),
+                 {"publish_msgs_mean", "event_send_mean", "inter_send_mean",
+                  "control_send_mean", "deliver_mean"});
+  csv.header(columns);
 }
 
 void csv_report_rows(util::CsvWriter& csv, const std::string& scenario,
                      const GridPoint& grid, const SweepResult& sweep) {
   const std::string label = grid_label(grid);
+  const auto cell = [](auto value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  };
   for (const ScenarioPoint& point : sweep.points) {
     for (const ScenarioGroupStats& group : point.groups) {
-      csv.row(scenario, label, point.alive_fraction, group.topic, group.size,
-              group.intra_sent.mean(), group.inter_sent.mean(),
-              group.inter_received.mean(), group.any_inter_received.estimate(),
-              group.delivery_ratio.mean(), group.delivery_ratio.ci95_halfwidth(),
-              group.all_alive_delivered.estimate(),
-              group.duplicate_deliveries.mean(),
-              group.first_delivery_round.mean(),
-              group.last_delivery_round.mean(), group.control_sent.mean(),
-              point.total_messages.mean(), point.rounds.mean(),
-              point.publications.mean(), point.event_reliability.mean(),
-              point.delivery_latency.mean(), point.max_latency.mean(),
-              point.control_messages.mean());
+      std::vector<std::string> cells{
+          scenario,
+          label,
+          cell(point.alive_fraction),
+          group.topic,
+          cell(group.size),
+          cell(group.intra_sent.mean()),
+          cell(group.inter_sent.mean()),
+          cell(group.inter_received.mean()),
+          cell(group.any_inter_received.estimate()),
+          cell(group.delivery_ratio.mean()),
+          cell(group.delivery_ratio.ci95_halfwidth()),
+          cell(group.all_alive_delivered.estimate()),
+          cell(group.duplicate_deliveries.mean()),
+          cell(group.first_delivery_round.mean()),
+          cell(group.last_delivery_round.mean()),
+          cell(group.control_sent.mean()),
+          cell(point.total_messages.mean()),
+          cell(point.rounds.mean()),
+          cell(point.publications.mean()),
+          cell(point.event_reliability.mean()),
+          cell(point.delivery_latency.mean()),
+          cell(point.max_latency.mean()),
+          cell(point.control_messages.mean()),
+          cell(point.latency_sketch.quantile(0.50)),
+          cell(point.latency_sketch.quantile(0.90)),
+          cell(point.latency_sketch.quantile(0.99)),
+          cell(point.latency_sketch.quantile(0.999)),
+          cell(point.latency_sketch.count()),
+          cell(point.expected_deliveries)};
+      for (const std::size_t deadline : kDeadlineGrid) {
+        cells.push_back(cell(point.deadline_fraction(deadline)));
+      }
+      cells.push_back(cell(point.msg_publishes.mean()));
+      cells.push_back(cell(point.msg_event_sends.mean()));
+      cells.push_back(cell(point.msg_inter_sends.mean()));
+      cells.push_back(cell(point.msg_control_sends.mean()));
+      cells.push_back(cell(point.msg_delivers.mean()));
+      csv.row_strings(cells);
     }
   }
 }
@@ -178,6 +252,30 @@ void emit_accumulator(std::ostream& out, const char* key,
       << '}';
 }
 
+void emit_latency_quantiles(std::ostream& out,
+                            const util::QuantileSketch& sketch) {
+  out << "\"latency_quantiles\":{\"p50\":" << json_number(sketch.quantile(0.50))
+      << ",\"p90\":" << json_number(sketch.quantile(0.90))
+      << ",\"p99\":" << json_number(sketch.quantile(0.99))
+      << ",\"p999\":" << json_number(sketch.quantile(0.999))
+      << ",\"min\":" << json_number(sketch.min())
+      << ",\"max\":" << json_number(sketch.max())
+      << ",\"count\":" << sketch.count()
+      << ",\"compacted\":" << (sketch.compacted() ? "true" : "false") << '}';
+}
+
+void emit_deadline_curve(std::ostream& out, const ScenarioPoint& point) {
+  out << "\"deadline_curve\":[";
+  bool first = true;
+  for (const std::size_t deadline : kDeadlineGrid) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"deadline\":" << deadline << ",\"fraction\":"
+        << json_number(point.deadline_fraction(deadline)) << '}';
+  }
+  out << ']';
+}
+
 }  // namespace
 
 void BenchReport::add(std::string scenario, GridPoint grid,
@@ -216,7 +314,18 @@ void BenchReport::write(std::ostream& out) const {
         << ",\"runs\":" << sweep.total_runs
         << ",\"runs_per_sec\":" << json_number(runs_per_sec)
         << ",\"events\":" << sweep.total_events
-        << ",\"events_per_sec\":" << json_number(events_per_sec)
+        << ",\"events_per_sec\":" << json_number(events_per_sec);
+    // Sweep-level pooled latency percentiles (points merged in point
+    // order — deterministic), the scalars tools/bench_diff gates on.
+    util::QuantileSketch pooled;
+    for (const ScenarioPoint& point : sweep.points) {
+      pooled.merge(point.latency_sketch);
+    }
+    out << ",\"latency_p50\":" << json_number(pooled.quantile(0.50))
+        << ",\"latency_p90\":" << json_number(pooled.quantile(0.90))
+        << ",\"latency_p99\":" << json_number(pooled.quantile(0.99))
+        << ",\"latency_p999\":" << json_number(pooled.quantile(0.999))
+        << ",\"latency_count\":" << pooled.count()
         << ",\"points\":[";
     bool first_point = true;
     for (const ScenarioPoint& point : sweep.points) {
@@ -242,6 +351,21 @@ void BenchReport::write(std::ostream& out) const {
       emit_accumulator(out, "linked_fraction", point.linked_fraction);
       out << ',';
       emit_accumulator(out, "control_at_link", point.control_at_link);
+      out << ',';
+      emit_latency_quantiles(out, point.latency_sketch);
+      out << ",\"expected_deliveries\":" << point.expected_deliveries << ',';
+      emit_deadline_curve(out, point);
+      out << ",\"message_classes\":{";
+      emit_accumulator(out, "publishes", point.msg_publishes);
+      out << ',';
+      emit_accumulator(out, "event_sends", point.msg_event_sends);
+      out << ',';
+      emit_accumulator(out, "inter_sends", point.msg_inter_sends);
+      out << ',';
+      emit_accumulator(out, "control_sends", point.msg_control_sends);
+      out << ',';
+      emit_accumulator(out, "delivers", point.msg_delivers);
+      out << '}';
       out << ",\"groups\":[";
       bool first_group = true;
       for (const ScenarioGroupStats& group : point.groups) {

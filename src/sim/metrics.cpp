@@ -26,6 +26,18 @@ void Metrics::note_event_delivery(net::EventId event, Round now) {
   ++entry.deliveries;
   entry.latency_sum += latency;
   entry.max_latency = std::max(entry.max_latency, latency);
+  latency_sketch_.add(static_cast<double>(latency));
+  if (deliveries_per_round_.size() <= now) {
+    deliveries_per_round_.resize(now + 1, 0);
+  }
+  ++deliveries_per_round_[now];
+}
+
+void Metrics::note_control_send(Round round) {
+  if (control_per_round_.size() <= round) {
+    control_per_round_.resize(round + 1, 0);
+  }
+  ++control_per_round_[round];
 }
 
 void Metrics::note_infection(Round round) {
@@ -64,6 +76,9 @@ void Metrics::reset() {
   event_latencies_.clear();
   parasite_deliveries_ = 0;
   infections_per_round_.clear();
+  deliveries_per_round_.clear();
+  control_per_round_.clear();
+  latency_sketch_ = util::QuantileSketch();
 }
 
 }  // namespace dam::sim

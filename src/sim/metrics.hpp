@@ -14,6 +14,7 @@
 #include "net/message.hpp"
 #include "sim/clock.hpp"
 #include "topics/topic.hpp"
+#include "util/quantiles.hpp"
 
 namespace dam::sim {
 
@@ -57,10 +58,37 @@ class Metrics {
     return event_latencies_;
   }
 
+  /// Per-delivery latency distribution: every note_event_delivery also
+  /// folds its latency (in rounds) into a constant-memory streaming
+  /// sketch, so percentiles and reliability-vs-deadline curves survive
+  /// runs whose per-event maps are too coarse. Latencies are small
+  /// integers, so the sketch stays exact (see util/quantiles.hpp).
+  [[nodiscard]] const util::QuantileSketch& latency_sketch() const noexcept {
+    return latency_sketch_;
+  }
+
+  /// Round-attributed control-message sends (index = round). Counts the
+  /// same sends as GroupCounters::control_sent, but as a timeline.
+  void note_control_send(Round round);
+
   /// Newly infected process counts per round (index = round).
   [[nodiscard]] const std::vector<std::uint64_t>& infections_per_round()
       const noexcept {
     return infections_per_round_;
+  }
+
+  /// First-time event deliveries per round (index = round). Unlike
+  /// infections_per_round (one entry per process, any event), this counts
+  /// per-event deliveries — the numerator of the deadline curve.
+  [[nodiscard]] const std::vector<std::uint64_t>& deliveries_per_round()
+      const noexcept {
+    return deliveries_per_round_;
+  }
+
+  /// Control sends per round (index = round).
+  [[nodiscard]] const std::vector<std::uint64_t>& control_per_round()
+      const noexcept {
+    return control_per_round_;
   }
 
   [[nodiscard]] std::uint64_t total_event_messages() const;
@@ -74,6 +102,9 @@ class Metrics {
   std::unordered_map<net::EventId, EventLatency> event_latencies_;
   std::uint64_t parasite_deliveries_ = 0;
   std::vector<std::uint64_t> infections_per_round_;
+  std::vector<std::uint64_t> deliveries_per_round_;
+  std::vector<std::uint64_t> control_per_round_;
+  util::QuantileSketch latency_sketch_;
   static const GroupCounters kZero;
 };
 

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace dam::util {
 
@@ -47,6 +48,18 @@ std::string_view to_string(LogLevel level) noexcept {
       return "OFF";
   }
   return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument(
+      "unknown log level '" + std::string(name) +
+      "' (expected trace|debug|info|warn|error|off)");
 }
 
 }  // namespace dam::util

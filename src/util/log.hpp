@@ -38,6 +38,11 @@ class Logger {
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
 
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-sensitive, the CLI --log-level vocabulary). Throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
 namespace detail {
 template <typename... Ts>
 void log_impl(LogLevel level, const Ts&... parts) {

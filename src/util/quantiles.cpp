@@ -1,0 +1,150 @@
+#include "util/quantiles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dam::util {
+
+QuantileSketch::QuantileSketch(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ < 2) {
+    throw std::invalid_argument("QuantileSketch: capacity must be >= 2");
+  }
+  centroids_.reserve(capacity_ + 1);
+}
+
+void QuantileSketch::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (total_weight_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_weight_ += weight;
+  const auto it = std::lower_bound(
+      centroids_.begin(), centroids_.end(), value,
+      [](const Centroid& c, double v) { return c.value < v; });
+  if (it != centroids_.end() && it->value == value) {
+    it->weight += weight;  // exact coalesce, no compaction pressure
+    return;
+  }
+  centroids_.insert(it, Centroid{value, weight});
+  if (centroids_.size() > capacity_) compact();
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.total_weight_ == 0) return;
+  if (total_weight_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_weight_ += other.total_weight_;
+  compacted_ = compacted_ || other.compacted_;
+  // Two-way merge of the sorted centroid lists, coalescing equal values.
+  std::vector<Centroid> merged;
+  merged.reserve(centroids_.size() + other.centroids_.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < centroids_.size() || b < other.centroids_.size()) {
+    if (b == other.centroids_.size() ||
+        (a < centroids_.size() &&
+         centroids_[a].value < other.centroids_[b].value)) {
+      merged.push_back(centroids_[a++]);
+    } else if (a == centroids_.size() ||
+               other.centroids_[b].value < centroids_[a].value) {
+      merged.push_back(other.centroids_[b++]);
+    } else {
+      merged.push_back(
+          Centroid{centroids_[a].value,
+                   centroids_[a].weight + other.centroids_[b].weight});
+      ++a;
+      ++b;
+    }
+  }
+  centroids_ = std::move(merged);
+  if (centroids_.size() > capacity_) compact();
+}
+
+void QuantileSketch::compact() {
+  while (centroids_.size() > capacity_) {
+    // Collapse the adjacent pair introducing the least rank-times-value
+    // error: gap × combined weight, first minimum wins (deterministic).
+    std::size_t best = 0;
+    double best_cost = 0.0;
+    for (std::size_t i = 0; i + 1 < centroids_.size(); ++i) {
+      const double gap = centroids_[i + 1].value - centroids_[i].value;
+      const double cost =
+          gap * static_cast<double>(centroids_[i].weight +
+                                    centroids_[i + 1].weight);
+      if (i == 0 || cost < best_cost) {
+        best = i;
+        best_cost = cost;
+      }
+    }
+    Centroid& lo = centroids_[best];
+    const Centroid& hi = centroids_[best + 1];
+    const std::uint64_t w = lo.weight + hi.weight;
+    lo.value = (lo.value * static_cast<double>(lo.weight) +
+                hi.value * static_cast<double>(hi.weight)) /
+               static_cast<double>(w);
+    lo.weight = w;
+    centroids_.erase(centroids_.begin() + static_cast<std::ptrdiff_t>(best) +
+                     1);
+    compacted_ = true;
+  }
+}
+
+double QuantileSketch::min() const noexcept {
+  return total_weight_ ? min_ : 0.0;
+}
+
+double QuantileSketch::max() const noexcept {
+  return total_weight_ ? max_ : 0.0;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_weight_ == 0) return 0.0;
+  if (total_weight_ == 1) return centroids_.front().value;
+  q = std::clamp(q, 0.0, 1.0);
+  // util::Samples::quantile convention: linear interpolation between the
+  // order statistics bracketing rank q·(n-1). Identical arithmetic, so the
+  // two agree bit for bit while the sketch is uncompacted.
+  const double pos = q * static_cast<double>(total_weight_ - 1);
+  const auto lo_rank = static_cast<std::uint64_t>(pos);
+  const std::uint64_t hi_rank =
+      std::min(lo_rank + 1, total_weight_ - 1);
+  const double frac = pos - static_cast<double>(lo_rank);
+  double lo_value = 0.0;
+  double hi_value = 0.0;
+  std::uint64_t cumulative = 0;
+  for (const Centroid& centroid : centroids_) {
+    const std::uint64_t next = cumulative + centroid.weight;
+    if (lo_rank >= cumulative && lo_rank < next) lo_value = centroid.value;
+    if (hi_rank >= cumulative && hi_rank < next) {
+      hi_value = centroid.value;
+      break;
+    }
+    cumulative = next;
+  }
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
+std::uint64_t QuantileSketch::weight_le(double x) const {
+  std::uint64_t weight = 0;
+  for (const Centroid& centroid : centroids_) {
+    if (centroid.value > x) break;
+    weight += centroid.weight;
+  }
+  return weight;
+}
+
+double QuantileSketch::cdf(double x) const {
+  if (total_weight_ == 0) return 0.0;
+  return static_cast<double>(weight_le(x)) /
+         static_cast<double>(total_weight_);
+}
+
+}  // namespace dam::util

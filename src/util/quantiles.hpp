@@ -1,0 +1,108 @@
+// Mergeable, constant-memory streaming quantile sketch.
+//
+// The latency-SLO observability layer needs per-delivery latency
+// percentiles (p50/p90/p99/p999) and reliability-vs-deadline curves over
+// sweeps of millions of deliveries, under three hard constraints:
+//
+//   * constant memory — a run or sweep point never buffers its samples
+//     (util::Samples does, and is reserved for tests/benches);
+//   * mergeable — the sweep runner folds per-run sketches into per-shard
+//     partials and merges shard partials in fixed shard order
+//     (exp/runner.hpp), so the sketch must compose under merge;
+//   * DETERMINISTIC — given the same add/merge sequence the sketch is
+//     bit-identical, with no randomized compaction, so the runner's fixed
+//     shard-merge order makes damlab aggregates bit-identical for every
+//     --jobs/--threads value (tests/exp/latency_slo_test.cpp pins this the
+//     same way threads_test.cpp pins the counter aggregates).
+//
+// Design: a capacity-bounded weighted-centroid histogram in the spirit of
+// Ben-Haim & Tom-Tov's streaming histogram (GK/t-digest family). Centroids
+// are (value, weight) pairs kept sorted by value; equal values coalesce
+// exactly. While the number of DISTINCT values stays within capacity the
+// sketch is EXACT — quantile() reproduces util::Samples::quantile bit for
+// bit. This covers the production measurand entirely: delivery latencies
+// are integer round counts, far fewer distinct values than the default
+// capacity. Beyond capacity, the adjacent pair with the smallest
+// rank-error cost (value gap × combined weight, ties to the lowest index —
+// deterministic) collapses into its weighted mean; tails compact last
+// because outliers sit across large gaps, which is exactly what p999
+// accuracy wants. Accuracy against exact quantiles on continuous
+// distributions is pinned in tests/util/quantiles_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dam::util {
+
+class QuantileSketch {
+ public:
+  /// Default centroid budget: 256 × 16 bytes = 4 KiB per sketch. Latency
+  /// streams (integer rounds) never reach it; continuous streams get
+  /// ~1/256 rank resolution in the bulk and exact tails.
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit QuantileSketch(std::size_t capacity = kDefaultCapacity);
+
+  /// Folds `weight` observations of `value` in. While the sketch is
+  /// uncompacted a weighted add is exactly equivalent to repeating
+  /// add(value) `weight` times. `value` must be finite; weight 0 is a
+  /// no-op.
+  void add(double value, std::uint64_t weight = 1);
+
+  /// Merges another sketch in. Deterministic: the merged centroid set is a
+  /// pure function of the two operands (order matters once compaction
+  /// engages, which is why callers must merge in a fixed order — the sweep
+  /// runner's shard-order contract).
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_weight_; }
+  [[nodiscard]] bool empty() const noexcept { return total_weight_ == 0; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Quantile by linear interpolation between order statistics — the
+  /// util::Samples convention — over the (possibly compacted) centroid
+  /// set. Exact whenever no compaction has happened. Returns 0.0 on an
+  /// empty sketch; q is clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Total weight of observations with value <= x. Exact while
+  /// uncompacted; after compaction a centroid counts entirely by its mean.
+  [[nodiscard]] std::uint64_t weight_le(double x) const;
+
+  /// weight_le(x) / count() (0.0 on an empty sketch).
+  [[nodiscard]] double cdf(double x) const;
+
+  /// True once any compaction happened — i.e. results are approximate.
+  [[nodiscard]] bool compacted() const noexcept { return compacted_; }
+
+  struct Centroid {
+    double value = 0.0;
+    std::uint64_t weight = 0;
+
+    friend bool operator==(const Centroid&, const Centroid&) = default;
+  };
+
+  /// Sorted by value, values strictly increasing. Exposed for tests and
+  /// for report code that walks the distribution directly.
+  [[nodiscard]] const std::vector<Centroid>& centroids() const noexcept {
+    return centroids_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Collapses lowest-cost adjacent pairs until size <= capacity.
+  void compact();
+
+  std::size_t capacity_;
+  std::vector<Centroid> centroids_;
+  std::uint64_t total_weight_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool compacted_ = false;
+};
+
+}  // namespace dam::util

@@ -143,7 +143,8 @@ DynamicScenarioBinding bind_scenario(const sim::Scenario& scenario) {
 
 DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
                                         const DynamicScenarioBinding& binding,
-                                        double alive_fraction, int run) {
+                                        double alive_fraction, int run,
+                                        sim::TraceRecorder* trace) {
   const auto started = std::chrono::steady_clock::now();
   const std::uint64_t seed = scenario.seed_for(alive_fraction, run);
   const WorkloadConfig& workload = scenario.workload;
@@ -160,6 +161,13 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   config.node.recovery.digest_size = workload.engine.recovery_digest;
   config.threads = scenario.threads;  // sharded spawn-batch fill when set
   core::DamSystem system(binding.hierarchy, config);
+
+  // Message-class accounting: when the caller traces the run, use its
+  // recorder; otherwise attach a counts-only one (capacity 0 skips the
+  // ring buffer entirely, keeping the per-kind totals essentially free).
+  sim::TraceRecorder counts_only(0);
+  sim::TraceRecorder* recorder = trace != nullptr ? trace : &counts_only;
+  system.set_trace_recorder(recorder);
 
   // --- Traffic stream and failure schedule. -------------------------------
   std::size_t initial_processes = 0;
@@ -354,6 +362,14 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
     result.mean_latency =
         static_cast<double>(latency_sum) / static_cast<double>(deliveries);
   }
+  // Every delivery the Metrics sketch saw belongs to one of this run's
+  // publications (begin_event gates the sketch), so it can be taken whole.
+  result.latency_sketch = system.metrics().latency_sketch();
+  result.trace_publishes = recorder->total(sim::TraceKind::kPublish);
+  result.trace_event_sends = recorder->total(sim::TraceKind::kEventSend);
+  result.trace_inter_sends = recorder->total(sim::TraceKind::kInterSend);
+  result.trace_control_sends = recorder->total(sim::TraceKind::kControlSend);
+  result.trace_delivers = recorder->total(sim::TraceKind::kDeliver);
 
   result.groups.resize(topic_count);
   for (std::size_t topic = 0; topic < topic_count; ++topic) {
@@ -394,6 +410,7 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
         ++alive_members;
         alive_delivered += delivered.contains(member);
       }
+      result.expected_deliveries += alive_members;
       if (alive_members == 0) continue;
       ratio_sum += static_cast<double>(alive_delivered) /
                    static_cast<double>(alive_members);

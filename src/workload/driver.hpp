@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "sim/scenario.hpp"
+#include "sim/trace.hpp"
 #include "topics/hierarchy.hpp"
+#include "util/quantiles.hpp"
 #include "workload/traffic.hpp"
 
 namespace dam::workload {
@@ -78,6 +80,26 @@ struct DynamicRunResult {
                                   ///< averaged over every first delivery
   double max_latency = 0.0;       ///< slowest first delivery of the run
 
+  /// Per-delivery latency distribution (rounds from publish to first
+  /// delivery, every publication pooled) — sim::Metrics' sketch. The
+  /// replay loop is serial, so the sketch is bit-identical for every
+  /// --threads value.
+  util::QuantileSketch latency_sketch;
+
+  /// Deliveries a perfectly reliable run would make: alive interested
+  /// members at run end, summed over every publication — denominator of
+  /// the reliability-vs-deadline curve. Deliveries to processes that died
+  /// before run end are still in the sketch, so curves clamp at 1.
+  std::uint64_t expected_deliveries = 0;
+
+  /// Message-class totals from the run's TraceRecorder (a counts-only
+  /// recorder is attached when the caller does not supply one).
+  std::uint64_t trace_publishes = 0;
+  std::uint64_t trace_event_sends = 0;   ///< intra-group event messages
+  std::uint64_t trace_inter_sends = 0;   ///< intergroup event messages
+  std::uint64_t trace_control_sends = 0;
+  std::uint64_t trace_delivers = 0;      ///< first-time deliveries
+
   /// Bootstrap lane, measured iff EngineConfig::auto_wire_super_tables is
   /// false: replay rounds until >= 95% of non-root processes hold a
   /// supertopic table targeting their DIRECT supertopic, the control
@@ -103,9 +125,12 @@ struct DynamicRunResult {
 
 /// Executes one dynamic run: seed and streams derive from
 /// scenario.seed_for(alive_fraction, run). `binding` must come from
-/// bind_scenario(scenario) and outlive the call.
+/// bind_scenario(scenario) and outlive the call. `trace`, when given,
+/// records the run's protocol events (damsim --trace); otherwise an
+/// internal counts-only recorder feeds the trace_* totals. Tracing never
+/// perturbs the run — the RNG streams are recorder-independent.
 [[nodiscard]] DynamicRunResult run_dynamic_simulation(
     const sim::Scenario& scenario, const DynamicScenarioBinding& binding,
-    double alive_fraction, int run);
+    double alive_fraction, int run, sim::TraceRecorder* trace = nullptr);
 
 }  // namespace dam::workload

@@ -209,6 +209,18 @@ TEST(BenchReport, DocumentCarriesTheV1Schema) {
         "\"mean\":", "\"ci95\":", "\"min\":", "\"max\":", "\"count\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  // Latency-SLO block: sweep-level pooled percentiles, per-point quantile
+  // sketch summary, deadline curve, and message-class counters.
+  for (const char* key :
+       {"\"latency_p50\":", "\"latency_p90\":", "\"latency_p99\":",
+        "\"latency_p999\":", "\"latency_count\":", "\"latency_quantiles\":",
+        "\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":", "\"compacted\":",
+        "\"expected_deliveries\":", "\"deadline_curve\":", "\"deadline\":",
+        "\"fraction\":", "\"message_classes\":", "\"publishes\":",
+        "\"event_sends\":", "\"inter_sends\":", "\"control_sends\":",
+        "\"delivers\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
   EXPECT_NE(json.find("\"grid\":{\"a\":2}"), std::string::npos);
 }
 

@@ -50,6 +50,21 @@ void expect_identical(const SweepResult& a, const SweepResult& b) {
     EXPECT_EQ(pa.delivery_latency.mean(), pb.delivery_latency.mean());
     EXPECT_EQ(pa.max_latency.max(), pb.max_latency.max());
     EXPECT_EQ(pa.control_messages.mean(), pb.control_messages.mean());
+    // Latency-SLO layer: the streaming sketch (centroids included), the
+    // quantiles read off it, and the deadline curve are part of the same
+    // bit-identity contract.
+    EXPECT_TRUE(pa.latency_sketch.centroids() == pb.latency_sketch.centroids());
+    EXPECT_EQ(pa.latency_sketch.count(), pb.latency_sketch.count());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(pa.latency_sketch.quantile(q), pb.latency_sketch.quantile(q));
+    }
+    EXPECT_EQ(pa.expected_deliveries, pb.expected_deliveries);
+    for (const std::size_t deadline : kDeadlineGrid) {
+      EXPECT_EQ(pa.deadline_fraction(deadline), pb.deadline_fraction(deadline));
+    }
+    EXPECT_EQ(pa.msg_event_sends.mean(), pb.msg_event_sends.mean());
+    EXPECT_EQ(pa.msg_control_sends.mean(), pb.msg_control_sends.mean());
+    EXPECT_EQ(pa.msg_delivers.mean(), pb.msg_delivers.mean());
   }
 }
 
@@ -90,6 +105,7 @@ TEST(Threads, DynamicSweepIsBitIdenticalForAnyThreadCount) {
   const SweepResult reference = run_sweep(scenario, {.jobs = 1});
   EXPECT_GT(reference.points.front().publications.count(), 0u);
   EXPECT_GT(reference.points.front().delivery_latency.mean(), 0.0);
+  EXPECT_FALSE(reference.points.front().latency_sketch.empty());
   for (const unsigned threads : {2u, 4u, 8u}) {
     SCOPED_TRACE(threads);
     scenario.threads = threads;

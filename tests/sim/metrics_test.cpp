@@ -94,17 +94,62 @@ TEST(Metrics, EventsTrackIndependently) {
   EXPECT_EQ(metrics.event_latencies().at(b).latency_sum, 1u);
 }
 
+TEST(Metrics, DeliveriesFeedTheLatencySketchAndTimeline) {
+  Metrics metrics;
+  const net::EventId event{topics::ProcessId{3}, 7};
+  metrics.begin_event(event, /*now=*/10);
+  metrics.note_event_delivery(event, 10);  // latency 0
+  metrics.note_event_delivery(event, 12);  // latency 2
+  metrics.note_event_delivery(event, 12);  // latency 2
+  EXPECT_EQ(metrics.latency_sketch().count(), 3u);
+  EXPECT_EQ(metrics.latency_sketch().min(), 0.0);
+  EXPECT_EQ(metrics.latency_sketch().max(), 2.0);
+  EXPECT_EQ(metrics.latency_sketch().quantile(1.0), 2.0);
+  const auto& per_round = metrics.deliveries_per_round();
+  ASSERT_EQ(per_round.size(), 13u);
+  EXPECT_EQ(per_round[10], 1u);
+  EXPECT_EQ(per_round[11], 0u);
+  EXPECT_EQ(per_round[12], 2u);
+}
+
+TEST(Metrics, UnknownEventDeliveriesStayOutOfTheSketch) {
+  // Mirrors DeliveriesOfUnknownEventsAreIgnored: a delivery without a
+  // matching begin_event must not poison the latency distribution either.
+  Metrics metrics;
+  metrics.note_event_delivery(net::EventId{topics::ProcessId{1}, 1}, 4);
+  EXPECT_TRUE(metrics.latency_sketch().empty());
+  EXPECT_TRUE(metrics.deliveries_per_round().empty());
+}
+
+TEST(Metrics, ControlSendsTrackPerRound) {
+  Metrics metrics;
+  metrics.note_control_send(1);
+  metrics.note_control_send(1);
+  metrics.note_control_send(4);
+  const auto& per_round = metrics.control_per_round();
+  ASSERT_EQ(per_round.size(), 5u);
+  EXPECT_EQ(per_round[1], 2u);
+  EXPECT_EQ(per_round[2], 0u);
+  EXPECT_EQ(per_round[4], 1u);
+}
+
 TEST(Metrics, ResetClearsEverything) {
   Metrics metrics;
   metrics.group(TopicId{1}).intra_sent = 5;
   metrics.count_parasite_delivery();
   metrics.note_infection(2);
-  metrics.begin_event(net::EventId{topics::ProcessId{1}, 0}, 1);
+  const net::EventId event{topics::ProcessId{1}, 0};
+  metrics.begin_event(event, 1);
+  metrics.note_event_delivery(event, 3);
+  metrics.note_control_send(2);
   metrics.reset();
   EXPECT_EQ(metrics.total_event_messages(), 0u);
   EXPECT_EQ(metrics.parasite_deliveries(), 0u);
   EXPECT_TRUE(metrics.infections_per_round().empty());
   EXPECT_TRUE(metrics.event_latencies().empty());
+  EXPECT_TRUE(metrics.latency_sketch().empty());
+  EXPECT_TRUE(metrics.deliveries_per_round().empty());
+  EXPECT_TRUE(metrics.control_per_round().empty());
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// QuantileSketch: exactness while uncompacted (the production latency
+// regime — integer round counts), bounded rank error once compaction
+// engages on continuous streams, and the determinism the sweep runner's
+// fixed shard-merge order relies on.
+#include "util/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dam::util {
+namespace {
+
+TEST(QuantileSketch, EmptyAndSingleton) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.cdf(1.0), 0.0);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+
+  sketch.add(7.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_EQ(sketch.quantile(0.0), 7.0);
+  EXPECT_EQ(sketch.quantile(0.999), 7.0);
+  EXPECT_EQ(sketch.min(), 7.0);
+  EXPECT_EQ(sketch.max(), 7.0);
+}
+
+TEST(QuantileSketch, MatchesExactQuantilesOnIntegerLatencies) {
+  // The production stream: delivery latencies are small integer round
+  // counts with heavy repetition — far fewer distinct values than the
+  // capacity, so the sketch must be EXACT (bit-identical to Samples).
+  QuantileSketch sketch;
+  Samples samples;
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Geometric-ish latency shape with a long tail up to ~60 rounds.
+    double latency = 0.0;
+    while (latency < 60.0 && rng.bernoulli(0.8)) latency += 1.0;
+    sketch.add(latency);
+    samples.add(latency);
+  }
+  ASSERT_FALSE(sketch.compacted());
+  EXPECT_EQ(sketch.count(), samples.count());
+  EXPECT_EQ(sketch.min(), samples.min());
+  EXPECT_EQ(sketch.max(), samples.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(sketch.quantile(q), samples.quantile(q)) << "q=" << q;
+  }
+  // weight_le is an exact empirical CDF while uncompacted.
+  std::uint64_t below_ten = 0;
+  for (const double v : samples.values()) below_ten += v <= 10.0;
+  EXPECT_EQ(sketch.weight_le(10.0), below_ten);
+}
+
+TEST(QuantileSketch, WeightedAddEqualsRepeatedAddWhileUncompacted) {
+  QuantileSketch weighted;
+  QuantileSketch repeated;
+  Rng rng(7);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t weight = 1 + rng.below(50);
+    weighted.add(static_cast<double>(round), weight);
+    for (std::uint64_t i = 0; i < weight; ++i) {
+      repeated.add(static_cast<double>(round));
+    }
+  }
+  ASSERT_FALSE(weighted.compacted());
+  ASSERT_TRUE(weighted.centroids() == repeated.centroids());
+  for (const double q : {0.25, 0.5, 0.99}) {
+    EXPECT_EQ(weighted.quantile(q), repeated.quantile(q));
+  }
+}
+
+void expect_rank_error_bounded(const QuantileSketch& sketch,
+                               std::vector<double> sorted, double tolerance) {
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double estimate = sketch.quantile(q);
+    const auto rank = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+        sorted.begin());
+    EXPECT_NEAR(rank / n, q, tolerance) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, BoundedRankErrorOnContinuousDistributions) {
+  // 50k continuous samples against 256 centroids: compaction engages and
+  // the sketch is approximate. The rank of every reported quantile must
+  // stay within 1.5% of the target — and the extreme tail, which the
+  // gap-cost compaction protects, much closer than the bulk.
+  Rng rng(1234);
+  QuantileSketch uniform_sketch;
+  QuantileSketch exponential_sketch;
+  std::vector<double> uniform_values;
+  std::vector<double> exponential_values;
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform01();
+    uniform_sketch.add(u);
+    uniform_values.push_back(u);
+    const double e = -std::log(1.0 - rng.uniform01());
+    exponential_sketch.add(e);
+    exponential_values.push_back(e);
+  }
+  EXPECT_TRUE(uniform_sketch.compacted());
+  expect_rank_error_bounded(uniform_sketch, uniform_values, 0.015);
+  expect_rank_error_bounded(exponential_sketch, exponential_values, 0.015);
+  // Exact extremes survive compaction.
+  EXPECT_EQ(uniform_sketch.min(),
+            *std::min_element(uniform_values.begin(), uniform_values.end()));
+  EXPECT_EQ(uniform_sketch.max(),
+            *std::max_element(uniform_values.begin(), uniform_values.end()));
+}
+
+TEST(QuantileSketch, MergeIsExactOnIntegerStreams) {
+  // Shard partials over integer latencies coalesce exactly: merging equals
+  // pooling the raw samples.
+  QuantileSketch merged;
+  Samples pooled;
+  Rng rng(99);
+  for (int shard = 0; shard < 8; ++shard) {
+    QuantileSketch partial;
+    for (int i = 0; i < 500; ++i) {
+      const double latency = static_cast<double>(rng.below(30));
+      partial.add(latency);
+      pooled.add(latency);
+    }
+    merged.merge(partial);
+  }
+  ASSERT_FALSE(merged.compacted());
+  EXPECT_EQ(merged.count(), pooled.count());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.quantile(q), pooled.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, FixedMergeOrderIsDeterministic) {
+  // The runner merges shard partials in shard order; replaying the same
+  // sequence must reproduce the sketch bit for bit, compaction included.
+  const auto build = [] {
+    QuantileSketch sketch(64);  // small capacity to force compaction
+    Rng rng(2024);
+    for (int shard = 0; shard < 8; ++shard) {
+      QuantileSketch partial(64);
+      for (int i = 0; i < 2000; ++i) partial.add(rng.uniform01());
+      sketch.merge(partial);
+    }
+    return sketch;
+  };
+  const QuantileSketch a = build();
+  const QuantileSketch b = build();
+  EXPECT_TRUE(a.compacted());
+  ASSERT_TRUE(a.centroids() == b.centroids());
+  EXPECT_EQ(a.count(), b.count());
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  }
+}
+
+TEST(QuantileSketch, CdfTracksDeadlineCurveSemantics) {
+  // The reliability-vs-deadline curve reads cdf(d) over integer deadlines.
+  QuantileSketch sketch;
+  for (int latency = 0; latency < 10; ++latency) {
+    sketch.add(static_cast<double>(latency), 10);
+  }
+  EXPECT_EQ(sketch.weight_le(-1.0), 0u);
+  EXPECT_EQ(sketch.weight_le(0.0), 10u);
+  EXPECT_EQ(sketch.weight_le(4.0), 50u);
+  EXPECT_EQ(sketch.weight_le(100.0), 100u);
+  EXPECT_DOUBLE_EQ(sketch.cdf(4.0), 0.5);
+}
+
+}  // namespace
+}  // namespace dam::util

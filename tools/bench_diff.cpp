@@ -1,18 +1,23 @@
-// bench_diff — the throughput regression gate over damlab bench documents.
+// bench_diff — the throughput + latency regression gate over damlab bench
+// documents.
 //
 //   bench_diff BASELINE.json CURRENT.json [--threshold=0.20] [--quiet]
 //
 // Matches the sweeps of two "damlab-bench-v1" documents by (scenario, grid
-// cell) and compares runs/sec and events/sec. Exits 1 when any matched
-// sweep regressed by more than the threshold (default 20% — the CI gate),
-// 2 on usage/parse errors, 0 otherwise. Sweeps present on only one side
-// are reported but never fail the gate (presets come and go). The
-// per-sweep context fields — jobs, threads (intra-run workers), and the
-// per-phase walls table_build_seconds / dissemination_seconds — are read
-// when present and shown in the report (a threads mismatch between the
-// two documents is flagged: different worker counts are not a like-for-
-// like throughput comparison), but only the two throughput rates gate, so
-// documents from different schema minor revisions still diff.
+// cell) and compares runs/sec, events/sec, and the pooled delivery-latency
+// percentiles latency_p99 / latency_p999 (in simulated rounds). Exits 1
+// when any matched sweep regressed by more than the threshold (default
+// 20% — the CI gate), 2 on usage/parse errors, 0 otherwise. Throughput
+// regresses when the ratio falls BELOW 1 - threshold; latency regresses
+// when it rises ABOVE 1 + threshold. Sweeps present on only one side are
+// reported but never fail the gate (presets come and go), and sweeps
+// without latency fields (older documents, zero deliveries) skip the
+// latency gate, so documents from different schema minor revisions still
+// diff. The per-sweep context fields — jobs, threads (intra-run workers),
+// and the per-phase walls table_build_seconds / dissemination_seconds —
+// are read when present and shown in the report (a threads mismatch
+// between the two documents is flagged: different worker counts are not a
+// like-for-like throughput comparison).
 //
 // The CI bench-smoke job runs this against the committed
 // bench/BENCH_baseline.json with a loose threshold (hosted runners differ
@@ -40,6 +45,11 @@ struct SweepRates {
   SweepKey key;
   double runs_per_sec = 0.0;
   double events_per_sec = 0.0;
+  // Gated latency percentiles (rounds, not wall time — deterministic).
+  // Zero when the document predates them or the sweep had no deliveries;
+  // the gate skips those.
+  double latency_p99 = 0.0;
+  double latency_p999 = 0.0;
   // Context, displayed but never gated: worker counts and where the wall
   // time went (tables/spawn vs dissemination/replay).
   double jobs = 1.0;
@@ -76,6 +86,8 @@ std::vector<SweepRates> load_rates(const std::string& path) {
     entry.key.grid = grid_label_of(sweep);
     entry.runs_per_sec = sweep.number_or("runs_per_sec", 0.0);
     entry.events_per_sec = sweep.number_or("events_per_sec", 0.0);
+    entry.latency_p99 = sweep.number_or("latency_p99", 0.0);
+    entry.latency_p999 = sweep.number_or("latency_p999", 0.0);
     entry.jobs = sweep.number_or("jobs", 1.0);
     entry.threads = sweep.number_or("threads", 1.0);
     entry.table_build_seconds = sweep.number_or("table_build_seconds", 0.0);
@@ -178,6 +190,29 @@ int main(int argc, char** argv) {
       };
       check("runs/sec", base.runs_per_sec, it->runs_per_sec);
       check("events/sec", base.events_per_sec, it->events_per_sec);
+      // Latency gates are inverted: a regression is the CURRENT value
+      // growing past the baseline (ratio above 1 + threshold). Percentiles
+      // are in simulated rounds, so unlike the wall-clock rates they are
+      // deterministic — any drift is a real protocol/behavior change, not
+      // machine noise. Sweeps with no latency data on either side
+      // (pre-percentile documents, zero deliveries) are skipped.
+      const auto check_latency = [&](const char* metric, double before,
+                                     double after) {
+        if (before <= 0.0 || after <= 0.0) return;
+        const double ratio = after / before;
+        const bool regressed = ratio > 1.0 + threshold;
+        if (regressed) ++regressions;
+        if (regressed || !args.flag("quiet")) {
+          std::cout << (regressed ? "REGRESSION " : "ok         ")
+                    << base.key.scenario;
+          if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+          std::cout << " " << metric << ": " << util::fixed(before, 1)
+                    << " -> " << util::fixed(after, 1) << " rounds ("
+                    << util::fixed(ratio * 100.0, 1) << "%)\n";
+        }
+      };
+      check_latency("latency p99", base.latency_p99, it->latency_p99);
+      check_latency("latency p999", base.latency_p999, it->latency_p999);
     }
     for (const SweepRates& cur : current) {
       const bool known = std::any_of(

@@ -13,14 +13,18 @@
 //
 // For grids over several scenarios/parameters and JSON bench reports, use
 // the full lab frontend: tools/damlab.cpp.
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "sim/scenario.hpp"
+#include "sim/trace.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
+#include "workload/driver.hpp"
 
 namespace {
 
@@ -34,6 +38,40 @@ int run_and_report(const dam::sim::Scenario& scenario,
     csv = std::make_unique<dam::util::CsvWriter>(csv_path);
   }
   dam::exp::print_sweep_table(sweep.points, std::cout, csv.get());
+  return 0;
+}
+
+/// --trace=FILE: replays ONE dynamic run (first alive fraction, run 0)
+/// with a bounded TraceRecorder attached and dumps the ring buffer as CSV.
+/// Tracing never perturbs the run, so the traced run is the same run 0 the
+/// sweep executes.
+int run_traced(const dam::sim::Scenario& scenario, const std::string& path) {
+  if (scenario.engine != dam::sim::EngineKind::kDynamic) {
+    std::cerr << "damsim: --trace needs a dynamic-engine scenario (the "
+                 "frozen engine has no per-message trace)\n";
+    return 2;
+  }
+  if (scenario.alive_sweep.empty()) {
+    std::cerr << "damsim: scenario has no alive fraction to trace\n";
+    return 2;
+  }
+  const dam::workload::DynamicScenarioBinding binding =
+      dam::workload::bind_scenario(scenario);
+  dam::sim::TraceRecorder recorder(1 << 16);
+  const dam::workload::DynamicRunResult result =
+      dam::workload::run_dynamic_simulation(
+          scenario, binding, scenario.alive_sweep.front(), 0, &recorder);
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "damsim: cannot open trace file '" << path << "'\n";
+    return 2;
+  }
+  recorder.to_csv(file);
+  std::cout << "traced run 0 (alive=" << scenario.alive_sweep.front()
+            << "): " << recorder.total_recorded() << " events recorded, last "
+            << recorder.entries().size() << " buffered -> " << path << " ("
+            << result.rounds << " rounds, " << result.publications
+            << " publications)\n";
   return 0;
 }
 
@@ -71,6 +109,12 @@ int main(int argc, char** argv) {
   args.add_flag("list-scenarios", "list the named scenario presets and exit");
   args.add_option("scenario", "",
                   "run a named scenario preset instead of the flag-built one");
+  args.add_option("log-level", "off",
+                  "logger verbosity: trace|debug|info|warn|error|off");
+  args.add_option("trace", "",
+                  "dynamic scenarios only: replay run 0 with a bounded "
+                  "TraceRecorder and dump its ring buffer as CSV here "
+                  "(instead of running the sweep)");
 
   try {
     args.parse(argc, argv);
@@ -88,6 +132,8 @@ int main(int argc, char** argv) {
   }
 
   try {
+    util::Logger::instance().set_level(
+        util::parse_log_level(args.str("log-level")));
     if (args.integer("jobs") < 0 || args.integer("threads") < 0) {
       std::cerr << "damsim: --jobs and --threads must be >= 0\n";
       return 2;
@@ -110,9 +156,16 @@ int main(int argc, char** argv) {
       if (args.provided("threads")) {
         scenario.threads = static_cast<unsigned>(args.integer("threads"));
       }
+      if (!args.str("trace").empty()) {
+        return run_traced(scenario, args.str("trace"));
+      }
       std::cout << "\n=== scenario " << scenario.name << " ===\n"
                 << scenario.summary << "\n\n";
       return run_and_report(scenario, args.str("csv"), options);
+    }
+    if (!args.str("trace").empty()) {
+      std::cerr << "damsim: --trace needs --scenario (a dynamic preset)\n";
+      return 2;
     }
 
     // Ad-hoc mode: a linear hierarchy built entirely from flags.
