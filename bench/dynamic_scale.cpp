@@ -8,12 +8,16 @@
 // regression gate that keeps the million-process run feasible.
 //
 //   bench_dynamic_scale [--scale=10] [--runs=1] [--jobs=1] [--threads=N]
-//                       [--budget=900] [--json=out.json]
+//                       [--budget=900] [--queue-budget=0] [--json=out.json]
 //
 // --budget is the wall limit in seconds for the WHOLE sweep (0 disables
-// the check); the process exits 1 when it is exceeded, so CI can gate on
-// it directly. The JSON document is the standard damlab-bench-v1 schema,
-// with peak_table_bytes reporting the view-arena footprint.
+// the check); --queue-budget bounds the transport's high-water in-flight
+// queue footprint in MiB (0 disables). Wall is machine-dependent, queue
+// bytes are logical and deterministic, so the queue gate can be tight.
+// The process exits 1 when either budget is exceeded, so CI can gate on
+// them directly. The JSON document is the standard damlab-bench-v1 schema,
+// with peak_table_bytes reporting the view-arena footprint and
+// peak_queue_bytes the slab-queue high-water mark.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -37,6 +41,8 @@ int main(int argc, char** argv) {
                   "(0 = hardware; omit for the serial sampling stream)");
   args.add_option("budget", "900",
                   "wall budget in seconds for the whole sweep (0 = off)");
+  args.add_option("queue-budget", "0",
+                  "peak in-flight queue budget in MiB (0 = off)");
   args.add_option("json", "", "write the damlab-bench-v1 document here");
   try {
     args.parse(argc, argv);
@@ -70,15 +76,17 @@ int main(int argc, char** argv) {
 
   const double mib = static_cast<double>(sweep.peak_table_bytes) /
                      (1024.0 * 1024.0);
+  const double queue_mib = static_cast<double>(sweep.peak_queue_bytes) /
+                           (1024.0 * 1024.0);
   util::ConsoleTable table({"S", "runs", "wall", "spawn (sum)",
-                            "replay (sum)", "arena MiB", "reliab",
-                            "events/sec"});
+                            "replay (sum)", "arena MiB", "queue MiB",
+                            "reliab", "events/sec"});
   table.row_strings(
       {std::to_string(scenario.group_sizes[0]), std::to_string(sweep.total_runs),
        util::fixed(sweep.wall_seconds, 1) + "s",
        util::fixed(sweep.table_build_seconds, 1) + "s",
        util::fixed(sweep.dissemination_seconds, 1) + "s",
-       util::fixed(mib, 1),
+       util::fixed(mib, 1), util::fixed(queue_mib, 1),
        util::fixed(sweep.points[0].event_reliability.mean(), 4),
        util::fixed(sweep.wall_seconds > 0.0
                        ? static_cast<double>(sweep.total_events) /
@@ -98,6 +106,12 @@ int main(int argc, char** argv) {
   if (budget > 0.0 && sweep.wall_seconds > budget) {
     std::cerr << "bench_dynamic_scale: wall " << sweep.wall_seconds
               << "s exceeded the budget of " << budget << "s\n";
+    return 1;
+  }
+  const double queue_budget = args.real("queue-budget");
+  if (queue_budget > 0.0 && queue_mib > queue_budget) {
+    std::cerr << "bench_dynamic_scale: peak queue " << queue_mib
+              << " MiB exceeded the budget of " << queue_budget << " MiB\n";
     return 1;
   }
   return 0;

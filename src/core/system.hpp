@@ -153,6 +153,13 @@ class DamSystem final : public Env {
     return total;
   }
 
+  /// High-water in-flight footprint of the transport's slab queue — the
+  /// dynamic lane's peak_queue_bytes measurand (compact queued records,
+  /// control-field arenas, and interned event bodies; see net/transport).
+  [[nodiscard]] std::size_t peak_queue_bytes() const noexcept {
+    return transport_.stats().peak_queue_bytes;
+  }
+
   /// Processes that delivered `event` so far.
   [[nodiscard]] const std::unordered_set<ProcessId>& delivered_set(
       net::EventId event) const;

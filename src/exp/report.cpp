@@ -311,6 +311,7 @@ void BenchReport::write(std::ostream& out) const {
         << ",\"dissemination_seconds\":"
         << json_number(sweep.dissemination_seconds)
         << ",\"peak_table_bytes\":" << sweep.peak_table_bytes
+        << ",\"peak_queue_bytes\":" << sweep.peak_queue_bytes
         << ",\"runs\":" << sweep.total_runs
         << ",\"runs_per_sec\":" << json_number(runs_per_sec)
         << ",\"events\":" << sweep.total_events

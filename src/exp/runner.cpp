@@ -52,6 +52,7 @@ SweepResult run_sweep(const sim::Scenario& scenario,
     double table_build_seconds = 0.0;
     double dissemination_seconds = 0.0;
     std::size_t peak_table_bytes = 0;
+    std::size_t peak_queue_bytes = 0;
   };
   std::vector<Shard> shards(scenario.alive_sweep.size() * shard_count);
 
@@ -86,6 +87,8 @@ SweepResult run_sweep(const sim::Scenario& scenario,
                 result.wall_seconds - result.table_build_seconds;
             shard.peak_table_bytes =
                 std::max(shard.peak_table_bytes, result.table_bytes);
+            shard.peak_queue_bytes =
+                std::max(shard.peak_queue_bytes, result.queue_bytes);
           } else {
             const core::FrozenRunResult result = core::run_frozen_simulation(
                 scenario.config_for(dag, alive, static_cast<int>(run)));
@@ -124,6 +127,8 @@ SweepResult run_sweep(const sim::Scenario& scenario,
       result.dissemination_seconds += shard.dissemination_seconds;
       result.peak_table_bytes =
           std::max(result.peak_table_bytes, shard.peak_table_bytes);
+      result.peak_queue_bytes =
+          std::max(result.peak_queue_bytes, shard.peak_queue_bytes);
     }
     result.points.push_back(std::move(point));
   }

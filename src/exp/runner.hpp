@@ -73,6 +73,12 @@ struct SweepResult {
   /// Largest contiguous membership-arena footprint of any single run
   /// (frozen: core::GroupTables; dynamic: the spawn-batch view arenas).
   std::size_t peak_table_bytes = 0;
+
+  /// Largest in-flight transport-queue footprint of any single run
+  /// (dynamic lane only; 0 for frozen sweeps): slab records, control
+  /// arenas, and interned event bodies at the high-water round. Logical
+  /// bytes, so bit-identical for every --jobs/--threads value.
+  std::size_t peak_queue_bytes = 0;
 };
 
 /// Resolves RunnerOptions::jobs (0 -> hardware concurrency, min 1).

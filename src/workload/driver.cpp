@@ -432,6 +432,9 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   // Mid-run joins spawn one at a time (owned views), so the arena total is
   // fixed once the initial groups exist — reading it at run end is exact.
   result.table_bytes = system.view_arena_bytes();
+  // The transport ratchets its high-water mark on every send, so the
+  // run-end read IS the peak across the whole replay.
+  result.queue_bytes = system.peak_queue_bytes();
   return result;
 }
 

@@ -121,6 +121,14 @@ struct DynamicRunResult {
   /// Per-node copy-on-churn overlays are excluded: they exist only for
   /// nodes that churned.
   std::size_t table_bytes = 0;
+
+  /// High-water in-flight bytes of the transport's slab queue
+  /// (DamSystem::peak_queue_bytes): compact per-message records plus
+  /// interned event bodies and control-field arenas. Logical bytes, so the
+  /// value is bit-identical for every --jobs/--threads value — the big
+  /// dissemination wave's memory measurand, gated by bench_dynamic_scale
+  /// and tools/bench_diff.
+  std::size_t queue_bytes = 0;
 };
 
 /// Executes one dynamic run: seed and streams derive from

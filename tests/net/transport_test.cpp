@@ -158,5 +158,188 @@ TEST(Transport, DeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(run(), run());
 }
 
+// --- slab/interning representation ----------------------------------------
+
+Message make_event(std::uint32_t publisher, std::uint32_t seq,
+                   std::vector<std::uint8_t> payload) {
+  Message msg;
+  msg.kind = MsgKind::kEvent;
+  msg.from = ProcessId{publisher};
+  msg.topic = TopicId{3};
+  msg.event = EventId{ProcessId{publisher}, seq};
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+TEST(Transport, FanOutCopiesShareOneInternedBody) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  const std::vector<std::uint8_t> payload(1000, 0xAB);
+  for (std::uint32_t to = 0; to < 50; ++to) {
+    Message msg = make_event(7, 1, payload);
+    msg.to = ProcessId{to};
+    transport.send(msg, 0);
+  }
+  // 50 queued copies, ONE body: the payload is stored once, and the queue
+  // footprint is records + one body, far below 50 full Messages.
+  EXPECT_EQ(transport.bodies().live(), 1u);
+  EXPECT_EQ(transport.queued_records(), 50u);
+  EXPECT_LT(transport.queue_bytes(), 50 * sizeof(Message));
+  int delivered = 0;
+  transport.deliver_round(1, [&](const Message& m) {
+    ++delivered;
+    EXPECT_EQ(m.payload, payload);
+    EXPECT_EQ(m.event, (EventId{ProcessId{7}, 1}));
+  });
+  EXPECT_EQ(delivered, 50);
+  // Last delivery dropped the last reference: the entry is recycled.
+  EXPECT_EQ(transport.bodies().live(), 0u);
+  EXPECT_EQ(transport.bodies().bytes(), 0u);
+  EXPECT_EQ(transport.queue_bytes(), 0u);
+}
+
+TEST(Transport, DistinctEventsGetDistinctBodies) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  transport.send(make_event(1, 1, {1}), 0);
+  transport.send(make_event(1, 2, {2}), 0);
+  transport.send(make_event(2, 1, {3}), 0);
+  EXPECT_EQ(transport.bodies().live(), 3u);
+  transport.deliver_round(1, [](const Message&) {});
+  EXPECT_EQ(transport.bodies().live(), 0u);
+}
+
+TEST(Transport, DroppedCopiesReleaseTheirBodyReference) {
+  // Channel losses at delivery time must release body refs exactly like
+  // successful deliveries — otherwise every lossy wave leaks pool entries.
+  Transport transport({.psucc = 0.0, .delay = 1}, util::Rng(1), nullptr);
+  for (std::uint32_t to = 0; to < 20; ++to) {
+    Message msg = make_event(5, 9, {1, 2, 3});
+    msg.to = ProcessId{to};
+    transport.send(msg, 0);
+  }
+  EXPECT_EQ(transport.bodies().live(), 1u);
+  int delivered = 0;
+  transport.deliver_round(1, [&](const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport.stats().lost_channel, 20u);
+  EXPECT_EQ(transport.bodies().live(), 0u);
+}
+
+TEST(Transport, FailureDropsReleaseTheirBodyReference) {
+  sim::StillbornFailures failures({ProcessId{1}});
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), &failures);
+  transport.send(make_event(0, 1, {7}), 0);  // default to = 0, alive
+  Message doomed = make_event(0, 1, {7});
+  doomed.to = ProcessId{1};
+  transport.send(doomed, 0);
+  transport.deliver_round(1, [](const Message&) {});
+  EXPECT_EQ(transport.stats().lost_failure, 1u);
+  EXPECT_EQ(transport.bodies().live(), 0u);
+}
+
+TEST(Transport, RoundSlabsAreRecycled) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  EXPECT_EQ(transport.spare_slabs(), 0u);
+  transport.send(make_event(1, 1, {}), 0);
+  transport.deliver_round(1, [](const Message&) {});
+  // The emptied slab parks on the spare list...
+  EXPECT_EQ(transport.spare_slabs(), 1u);
+  // ...and the next round's sends reclaim it instead of allocating.
+  transport.send(make_event(1, 2, {}), 1);
+  EXPECT_EQ(transport.spare_slabs(), 0u);
+  transport.deliver_round(2, [](const Message&) {});
+  EXPECT_EQ(transport.spare_slabs(), 1u);
+}
+
+TEST(Transport, PeakQueueBytesRatchets) {
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  EXPECT_EQ(transport.stats().peak_queue_bytes, 0u);
+  for (std::uint32_t to = 0; to < 10; ++to) {
+    Message msg = make_event(1, 1, std::vector<std::uint8_t>(100, 1));
+    msg.to = ProcessId{to};
+    transport.send(msg, 0);
+  }
+  const std::size_t high_water = transport.queue_bytes();
+  EXPECT_EQ(transport.stats().peak_queue_bytes, high_water);
+  EXPECT_EQ(transport.stats().peak_queue_records, 10u);
+  transport.deliver_round(1, [](const Message&) {});
+  // Draining does not lower the recorded peak.
+  EXPECT_EQ(transport.queue_bytes(), 0u);
+  EXPECT_EQ(transport.stats().peak_queue_bytes, high_water);
+  // A smaller later wave does not raise it either.
+  transport.send(make_event(1, 2, {}), 2);
+  EXPECT_EQ(transport.stats().peak_queue_bytes, high_water);
+}
+
+TEST(Transport, ControlMessageFieldsSurviveTheSlabRoundTrip) {
+  // Every variable-length field lands in slab arenas and comes back via
+  // (offset, len) slices; Message::operator== pins the full round trip.
+  Message msg;
+  msg.kind = MsgKind::kMembership;
+  msg.from = ProcessId{4};
+  msg.to = ProcessId{9};
+  msg.sent_at = 3;
+  msg.origin = ProcessId{12};
+  msg.request_id = 77;
+  msg.ttl = 5;
+  msg.answer_topic = TopicId{6};
+  msg.init_msg = {TopicId{1}, TopicId{2}, TopicId{9}};
+  msg.processes = {ProcessId{10}, ProcessId{11}};
+  msg.piggyback_topic = TopicId{8};
+  msg.piggyback_super_table = {ProcessId{20}, ProcessId{21}, ProcessId{22}};
+  msg.event_ids = {EventId{ProcessId{4}, 1}, EventId{ProcessId{5}, 2}};
+
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  transport.send(msg, /*now=*/3);
+  // A second control message in the same slab shifts the arena offsets.
+  Message other;
+  other.kind = MsgKind::kReqContact;
+  other.from = ProcessId{1};
+  other.to = ProcessId{2};
+  other.sent_at = 3;
+  other.origin = ProcessId{1};
+  other.request_id = 5;
+  other.ttl = 2;
+  other.init_msg = {TopicId{4}};
+  transport.send(other, 3);
+
+  std::vector<Message> received;
+  transport.deliver_round(4, [&](const Message& m) { received.push_back(m); });
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], msg);
+  EXPECT_EQ(received[1], other);
+}
+
+TEST(Transport, EventMessageSurvivesTheSlabRoundTrip) {
+  Message msg = make_event(3, 17, {9, 8, 7});
+  msg.to = ProcessId{6};
+  msg.sent_at = 2;
+  msg.intergroup = true;
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  transport.send(msg, 2);
+  std::vector<Message> received;
+  transport.deliver_round(3, [&](const Message& m) { received.push_back(m); });
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], msg);
+}
+
+TEST(Transport, MemoizedBytesSentMatchesEncodedSize) {
+  // The fan-out path charges the body's memoized wire size; the total must
+  // equal what per-message encoded_size() walks would have produced.
+  Transport transport({.psucc = 1.0, .delay = 1}, util::Rng(1), nullptr);
+  std::uint64_t expected = 0;
+  for (std::uint32_t to = 0; to < 25; ++to) {
+    Message msg = make_event(2, 4, std::vector<std::uint8_t>(64, 7));
+    msg.to = ProcessId{to};
+    expected += encoded_size(msg);
+    transport.send(msg, 0);
+  }
+  Message ctrl;
+  ctrl.kind = MsgKind::kAnsContact;
+  ctrl.processes = {ProcessId{1}, ProcessId{2}};
+  expected += encoded_size(ctrl);
+  transport.send(ctrl, 0);
+  EXPECT_EQ(transport.stats().bytes_sent, expected);
+}
+
 }  // namespace
 }  // namespace dam::net

@@ -1,9 +1,11 @@
 // Golden regression: dynamic-lane runs must stay BIT-IDENTICAL to the
-// engine as it stood before the shared view arena (PR 5). The numbers
-// below were captured from the pre-arena code (per-node vector views) for
-// fixed (scenario, alive, run) cells across all three dynamic presets plus
-// a cold-start bootstrap cell — every counter and every accumulated double
-// is pinned exactly.
+// engine as it stood before the shared view arena (PR 5) and before the
+// slab/interned transport queue. The numbers below were captured from the
+// pre-arena code (per-node vector views; the recovery cell from the
+// pre-slab per-message queue) for fixed (scenario, alive, run) cells
+// across all three dynamic presets plus a cold-start bootstrap cell and a
+// recovery-ablation cell — every counter and every accumulated double is
+// pinned exactly.
 //
 // If a change legitimately alters the dynamic RNG stream (a new draw, a
 // reordered sample), these numbers must be regenerated TOGETHER with a
@@ -50,6 +52,11 @@ TEST(DynamicGolden, ZipfStormAllAliveRunZero) {
   EXPECT_EQ(r.groups[2].ratio_samples, 7u);
   // The arena path reports its footprint; the pre-arena engine had none.
   EXPECT_GT(r.table_bytes, 0u);
+  // Likewise the slab transport reports its in-flight high-water mark, and
+  // it stays far below what the per-message queue would have held (one
+  // ~200-byte Message per queued copy).
+  EXPECT_GT(r.queue_bytes, 0u);
+  EXPECT_LT(r.queue_bytes, 1u << 20);
 }
 
 TEST(DynamicGolden, ZipfStormStillbornRunTwo) {
@@ -108,6 +115,62 @@ TEST(DynamicGolden, ChurnSubscribeHeavyRunZero) {
   EXPECT_EQ(r.groups[2].alive, 193u);
   EXPECT_DOUBLE_EQ(r.groups[0].delivery_ratio, 0.73421052631578954);
   EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.88946459412780643);
+}
+
+TEST(DynamicGolden, RecoveryAblationCell) {
+  // Recovery on: gossip carries history digests and missing events are
+  // re-requested — the lane with the heaviest control-field traffic
+  // (event_ids in every MEMBERSHIP / EVENT_REQUEST message), i.e. the
+  // slab queue's control arenas under real load. Captured from the
+  // pre-slab per-message queue; pinned bit-for-bit.
+  sim::Scenario rec = sim::make_linear_scenario("rec", "rec", {12, 60, 300});
+  rec.engine = sim::EngineKind::kDynamic;
+  rec.workload.arrival.kind = ArrivalKind::kPoisson;
+  rec.workload.arrival.rate = 0.4;
+  rec.workload.arrival.horizon = 24;
+  rec.workload.engine.recovery_enabled = true;
+  rec.workload.engine.recovery_history = 48;
+  rec.workload.engine.recovery_digest = 6;
+  rec.base_seed = 0x2ECA;
+  const DynamicScenarioBinding binding = bind_scenario(rec);
+  const DynamicRunResult r = run_dynamic_simulation(rec, binding, 0.85, 1);
+  EXPECT_EQ(r.total_messages, 26822u);
+  EXPECT_EQ(r.control_messages, 16581u);
+  EXPECT_EQ(r.publications, 8u);
+  EXPECT_DOUBLE_EQ(r.event_reliability, 0.97555205047318605);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 3.3482828282828283);
+  EXPECT_DOUBLE_EQ(r.max_latency, 29.0);
+  EXPECT_EQ(r.rounds, 52u);
+  ASSERT_EQ(r.groups.size(), 3u);
+  EXPECT_EQ(r.groups[0].size, 12u);
+  EXPECT_EQ(r.groups[0].alive, 10u);
+  EXPECT_EQ(r.groups[0].intra_sent, 561u);
+  EXPECT_EQ(r.groups[0].inter_received, 32u);
+  EXPECT_EQ(r.groups[0].control_sent, 520u);
+  EXPECT_EQ(r.groups[0].duplicate_deliveries, 358u);
+  EXPECT_DOUBLE_EQ(r.groups[0].delivery_ratio, 0.875);
+  EXPECT_EQ(r.groups[0].ratio_samples, 8u);
+  EXPECT_EQ(r.groups[1].size, 60u);
+  EXPECT_EQ(r.groups[1].alive, 50u);
+  EXPECT_EQ(r.groups[1].intra_sent, 3508u);
+  EXPECT_EQ(r.groups[1].inter_sent, 32u);
+  EXPECT_EQ(r.groups[1].inter_received, 31u);
+  EXPECT_EQ(r.groups[1].control_sent, 2609u);
+  EXPECT_EQ(r.groups[1].duplicate_deliveries, 2275u);
+  EXPECT_DOUBLE_EQ(r.groups[1].delivery_ratio, 0.875);
+  EXPECT_EQ(r.groups[2].size, 300u);
+  EXPECT_EQ(r.groups[2].alive, 257u);
+  EXPECT_EQ(r.groups[2].intra_sent, 22690u);
+  EXPECT_EQ(r.groups[2].inter_sent, 31u);
+  EXPECT_EQ(r.groups[2].control_sent, 13452u);
+  EXPECT_EQ(r.groups[2].duplicate_deliveries, 15090u);
+  EXPECT_DOUBLE_EQ(r.groups[2].delivery_ratio, 0.9995136186770428);
+  EXPECT_EQ(r.trace_event_sends, 26759u);
+  EXPECT_EQ(r.trace_inter_sends, 63u);
+  EXPECT_EQ(r.trace_control_sends, 16581u);
+  EXPECT_EQ(r.trace_delivers, 2475u);
+  EXPECT_EQ(r.trace_publishes, 8u);
+  EXPECT_GT(r.queue_bytes, 0u);
 }
 
 TEST(DynamicGolden, ColdStartBootstrapCell) {

@@ -40,6 +40,11 @@ TEST(DynamicScale, HundredThousandProcessRunStaysInBudget) {
   // from the ~S per-node vector headers the old layout heap-churned.
   EXPECT_GT(result.table_bytes, 100000u * sizeof(std::uint32_t));
   EXPECT_LT(result.table_bytes, 100000u * 64u * sizeof(std::uint32_t));
+  // Slab queue high-water mark: ~24 bytes per queued copy. The observed
+  // peak is 29.5 MiB; 48 MiB (the CI --queue-budget) trips on any return
+  // of per-copy Message storage (184 B/copy would put this near 226 MiB).
+  EXPECT_GT(result.queue_bytes, 0u);
+  EXPECT_LT(result.queue_bytes, 48u << 20);
 }
 
 }  // namespace

@@ -8,12 +8,15 @@
 // percentiles latency_p99 / latency_p999 (in simulated rounds). Exits 1
 // when any matched sweep regressed by more than the threshold (default
 // 20% — the CI gate), 2 on usage/parse errors, 0 otherwise. Throughput
-// regresses when the ratio falls BELOW 1 - threshold; latency regresses
-// when it rises ABOVE 1 + threshold. Sweeps present on only one side are
-// reported but never fail the gate (presets come and go), and sweeps
-// without latency fields (older documents, zero deliveries) skip the
-// latency gate, so documents from different schema minor revisions still
-// diff. The per-sweep context fields — jobs, threads (intra-run workers),
+// regresses when the ratio falls BELOW 1 - threshold; latency and memory
+// (peak_queue_bytes, the transport's high-water in-flight footprint)
+// regress when the ratio rises ABOVE 1 + threshold. Unlike the wall-clock
+// rates, latency and memory are deterministic measurands, so drift there
+// is a real behavior change, not machine noise. Sweeps present on only one
+// side are reported but never fail the gate (presets come and go), and
+// sweeps without latency/memory fields (older documents, zero deliveries,
+// frozen sweeps) skip those gates, so documents from different schema
+// minor revisions still diff. The per-sweep context fields — jobs, threads (intra-run workers),
 // and the per-phase walls table_build_seconds / dissemination_seconds —
 // are read when present and shown in the report (a threads mismatch
 // between the two documents is flagged: different worker counts are not a
@@ -50,6 +53,9 @@ struct SweepRates {
   // the gate skips those.
   double latency_p99 = 0.0;
   double latency_p999 = 0.0;
+  // Gated memory high-water mark (logical bytes — deterministic). Zero for
+  // frozen sweeps and pre-slab documents; the gate skips those.
+  double peak_queue_bytes = 0.0;
   // Context, displayed but never gated: worker counts and where the wall
   // time went (tables/spawn vs dissemination/replay).
   double jobs = 1.0;
@@ -88,6 +94,7 @@ std::vector<SweepRates> load_rates(const std::string& path) {
     entry.events_per_sec = sweep.number_or("events_per_sec", 0.0);
     entry.latency_p99 = sweep.number_or("latency_p99", 0.0);
     entry.latency_p999 = sweep.number_or("latency_p999", 0.0);
+    entry.peak_queue_bytes = sweep.number_or("peak_queue_bytes", 0.0);
     entry.jobs = sweep.number_or("jobs", 1.0);
     entry.threads = sweep.number_or("threads", 1.0);
     entry.table_build_seconds = sweep.number_or("table_build_seconds", 0.0);
@@ -213,6 +220,25 @@ int main(int argc, char** argv) {
       };
       check_latency("latency p99", base.latency_p99, it->latency_p99);
       check_latency("latency p999", base.latency_p999, it->latency_p999);
+      // Memory gate, same inverted direction as latency: regression means
+      // the in-flight queue footprint GREW past the threshold. Reported in
+      // KiB for readability; the ratio is what gates.
+      const auto check_memory = [&](const char* metric, double before,
+                                    double after) {
+        if (before <= 0.0 || after <= 0.0) return;
+        const double ratio = after / before;
+        const bool regressed = ratio > 1.0 + threshold;
+        if (regressed) ++regressions;
+        if (regressed || !args.flag("quiet")) {
+          std::cout << (regressed ? "REGRESSION " : "ok         ")
+                    << base.key.scenario;
+          if (!base.key.grid.empty()) std::cout << " [" << base.key.grid << "]";
+          std::cout << " " << metric << ": " << util::fixed(before / 1024.0, 1)
+                    << " -> " << util::fixed(after / 1024.0, 1) << " KiB ("
+                    << util::fixed(ratio * 100.0, 1) << "%)\n";
+        }
+      };
+      check_memory("peak queue", base.peak_queue_bytes, it->peak_queue_bytes);
     }
     for (const SweepRates& cur : current) {
       const bool known = std::any_of(

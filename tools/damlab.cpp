@@ -172,7 +172,8 @@ int main(int argc, char** argv) {
                     << "s tables + "
                     << util::fixed(sweep.dissemination_seconds, 2)
                     << "s dissemination, peak tables "
-                    << sweep.peak_table_bytes / 1024 << " KiB)\n";
+                    << sweep.peak_table_bytes / 1024 << " KiB, peak queue "
+                    << sweep.peak_queue_bytes / 1024 << " KiB)\n";
         }
         if (csv) exp::csv_report_rows(*csv, scenario.name, cell, sweep);
         report.add(scenario.name, cell, sweep);
