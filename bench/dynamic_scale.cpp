@@ -8,16 +8,20 @@
 // regression gate that keeps the million-process run feasible.
 //
 //   bench_dynamic_scale [--scale=10] [--runs=1] [--jobs=1] [--threads=N]
-//                       [--budget=900] [--queue-budget=0] [--json=out.json]
+//                       [--budget=900] [--queue-budget=0]
+//                       [--bookkeeping-budget=0] [--json=out.json]
 //
 // --budget is the wall limit in seconds for the WHOLE sweep (0 disables
 // the check); --queue-budget bounds the transport's high-water in-flight
-// queue footprint in MiB (0 disables). Wall is machine-dependent, queue
-// bytes are logical and deterministic, so the queue gate can be tight.
-// The process exits 1 when either budget is exceeded, so CI can gate on
+// queue footprint in MiB (0 disables); --bookkeeping-budget bounds the
+// flight recorder's worst-window seen/delivered/request-set footprint in
+// MiB (0 disables). Wall is machine-dependent; queue and bookkeeping
+// bytes are logical and deterministic, so those gates can be tight.
+// The process exits 1 when any budget is exceeded, so CI can gate on
 // them directly. The JSON document is the standard damlab-bench-v1 schema,
-// with peak_table_bytes reporting the view-arena footprint and
-// peak_queue_bytes the slab-queue high-water mark.
+// with peak_table_bytes reporting the view-arena footprint,
+// peak_queue_bytes the slab-queue high-water mark, and
+// peak_bookkeeping_bytes the timeline's gauge high-water mark.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -43,6 +47,8 @@ int main(int argc, char** argv) {
                   "wall budget in seconds for the whole sweep (0 = off)");
   args.add_option("queue-budget", "0",
                   "peak in-flight queue budget in MiB (0 = off)");
+  args.add_option("bookkeeping-budget", "0",
+                  "peak seen/delivered/request-set budget in MiB (0 = off)");
   args.add_option("json", "", "write the damlab-bench-v1 document here");
   try {
     args.parse(argc, argv);
@@ -78,15 +84,18 @@ int main(int argc, char** argv) {
                      (1024.0 * 1024.0);
   const double queue_mib = static_cast<double>(sweep.peak_queue_bytes) /
                            (1024.0 * 1024.0);
+  const double bookkeeping_mib =
+      static_cast<double>(sweep.peak_bookkeeping_bytes) / (1024.0 * 1024.0);
   util::ConsoleTable table({"S", "runs", "wall", "spawn (sum)",
                             "replay (sum)", "arena MiB", "queue MiB",
-                            "reliab", "events/sec"});
+                            "bookkeep MiB", "reliab", "events/sec"});
   table.row_strings(
       {std::to_string(scenario.group_sizes[0]), std::to_string(sweep.total_runs),
        util::fixed(sweep.wall_seconds, 1) + "s",
        util::fixed(sweep.table_build_seconds, 1) + "s",
        util::fixed(sweep.dissemination_seconds, 1) + "s",
        util::fixed(mib, 1), util::fixed(queue_mib, 1),
+       util::fixed(bookkeeping_mib, 1),
        util::fixed(sweep.points[0].event_reliability.mean(), 4),
        util::fixed(sweep.wall_seconds > 0.0
                        ? static_cast<double>(sweep.total_events) /
@@ -112,6 +121,13 @@ int main(int argc, char** argv) {
   if (queue_budget > 0.0 && queue_mib > queue_budget) {
     std::cerr << "bench_dynamic_scale: peak queue " << queue_mib
               << " MiB exceeded the budget of " << queue_budget << " MiB\n";
+    return 1;
+  }
+  const double bookkeeping_budget = args.real("bookkeeping-budget");
+  if (bookkeeping_budget > 0.0 && bookkeeping_mib > bookkeeping_budget) {
+    std::cerr << "bench_dynamic_scale: peak bookkeeping " << bookkeeping_mib
+              << " MiB exceeded the budget of " << bookkeeping_budget
+              << " MiB\n";
     return 1;
   }
   return 0;

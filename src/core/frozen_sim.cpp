@@ -392,6 +392,21 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
         churn->alive(topics::ProcessId{pid_offset[publish] + i}, 0);
     if (groups[publish].alive[i] && up_now) alive_candidates.push_back(i);
   }
+  // The frozen engine's only per-process bookkeeping is the delivered
+  // bitmap (no seen-sets, no recovery), constant for the whole run: sample
+  // it into every window the run covers. Allocated above, so it is held —
+  // and sampled — even when nobody can publish.
+  const auto sample_bitmap_gauges = [&](std::size_t last_round) {
+    std::size_t bitmap_bytes = 0;
+    for (const std::vector<bool>& bits : delivered) {
+      bitmap_bytes += (bits.size() + 7) / 8;
+    }
+    const std::size_t window_rounds = result.timeline.window_rounds();
+    for (std::size_t round = 0; round <= last_round; round += window_rounds) {
+      result.timeline.sample_gauges(round, 0, bitmap_bytes, 0);
+    }
+  };
+
   if (alive_candidates.empty()) {
     // Nobody can publish; groups with alive members trivially miss the
     // event, empty ones vacuously receive it.
@@ -399,6 +414,7 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
       result.groups[topic].all_alive_delivered =
           result.groups[topic].alive == 0;
     }
+    sample_bitmap_gauges(0);
     finish_timing();
     return result;
   }
@@ -636,6 +652,20 @@ FrozenRunResult run_frozen_simulation(const FrozenSimConfig& config) {
     result.total_messages +=
         group_result.intra_sent + group_result.inter_sent;
   }
+
+  // --- Flight recorder (post-hoc). ----------------------------------------
+  // Built from the already chunk-order-merged deliveries_per_round, never
+  // from inside the wave loops, so the RNG streams and goldens are
+  // untouched and the timeline is bit-identical for every --threads value.
+  // One publication at round 0 means latency == delivery round.
+  result.timeline.note_publish(0);
+  for (std::size_t round = 0; round < result.deliveries_per_round.size();
+       ++round) {
+    result.timeline.note_delivery(round, static_cast<double>(round),
+                                  result.deliveries_per_round[round]);
+  }
+  sample_bitmap_gauges(rounds);
+
   finish_timing();
   return result;
 }

@@ -34,6 +34,7 @@
 #include "topics/dag.hpp"
 #include "util/quantiles.hpp"
 #include "util/rng.hpp"
+#include "util/timeline.hpp"
 
 namespace dam::core {
 
@@ -179,6 +180,14 @@ struct FrozenRunResult {
   /// over every group the event should reach (the publish topic's ancestor
   /// closure) — the denominator of the reliability-vs-deadline curve.
   std::uint64_t expected_deliveries = 0;
+
+  /// Run-timeline flight recorder. Built POST-HOC from deliveries_per_round
+  /// during final accounting — the wave loops and their RNG streams are
+  /// untouched, so every frozen golden stays bit-identical. The frozen
+  /// engine's only per-process bookkeeping is the delivered bitmap (one
+  /// bit per member; seen-sets and recovery do not exist here), sampled as
+  /// the delivered_bytes gauge of every window the run covers.
+  util::Timeline timeline;
 
   /// Wall time split: membership-table construction vs everything after it
   /// (publisher pick + dissemination waves + accounting). At giant S the

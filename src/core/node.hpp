@@ -144,6 +144,12 @@ class DamNode {
     return seen_;
   }
 
+  /// Entries in the recovery request-dedup set ((origin, request_id) pairs
+  /// already answered). Feeds the flight recorder's request-set gauge.
+  [[nodiscard]] std::size_t request_set_size() const noexcept {
+    return seen_requests_.size();
+  }
+
   /// Updates the group-size estimate used for fanout/psel/view capacity.
   /// In a deployment this would come from the membership substrate's size
   /// estimator; the simulation shell feeds it the registry's truth.

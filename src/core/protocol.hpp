@@ -137,6 +137,13 @@ class SeenSet {
   [[nodiscard]] std::size_t size() const noexcept { return seen_.size(); }
   [[nodiscard]] std::size_t max_size() const noexcept { return max_size_; }
 
+  /// Logical footprint: entries held (set + FIFO eviction order) × key
+  /// size. Element counts, not allocator bytes — deterministic across
+  /// machines, which is what the flight recorder's gauges require.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return (seen_.size() + order_.size()) * sizeof(Key);
+  }
+
  private:
   std::size_t max_size_;
   std::unordered_set<Key> seen_;

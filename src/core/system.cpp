@@ -301,6 +301,7 @@ net::EventId DamSystem::publish(ProcessId publisher,
   // DamNode::publish, before the event id existed for begin_event; record
   // it here so latency aggregates cover every first delivery.
   metrics_.begin_event(event, clock_.now());
+  metrics_.note_publish(clock_.now());
   metrics_.note_event_delivery(event, clock_.now());
   if (trace_ != nullptr) {
     sim::TraceEntry entry;
@@ -333,6 +334,7 @@ void DamSystem::send(Message&& msg) {
     } else {
       ++counters.intra_sent;
     }
+    metrics_.note_event_send(clock_.now(), msg.intergroup);
   } else {
     ++counters.control_sent;
     metrics_.note_control_send(clock_.now());
@@ -391,6 +393,21 @@ void DamSystem::deliver(ProcessId self, const Message& event_msg) {
     trace_->record(entry);
   }
   if (delivery_handler_) delivery_handler_(self, event_msg);
+}
+
+DamSystem::BookkeepingGauges DamSystem::bookkeeping_gauges() const {
+  BookkeepingGauges gauges;
+  for (const auto& node : nodes_) {
+    gauges.seen_bytes += node->seen_events().bytes();
+    gauges.request_bytes +=
+        node->request_set_size() * sizeof(std::uint64_t);
+  }
+  // Iteration order of the deliveries map is unspecified, but only sizes
+  // are summed — the total is order-independent, so still deterministic.
+  for (const auto& [event, delivered] : deliveries_) {
+    gauges.delivered_bytes += delivered.size() * sizeof(ProcessId);
+  }
+  return gauges;
 }
 
 const std::unordered_set<ProcessId>& DamSystem::delivered_set(

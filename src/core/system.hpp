@@ -130,6 +130,10 @@ class DamSystem final : public Env {
   [[nodiscard]] const sim::Metrics& metrics() const noexcept {
     return metrics_;
   }
+  /// Mutable access for the workload driver, which feeds the flight
+  /// recorder's churn events, window queue peaks, and bookkeeping gauges
+  /// (the driver owns the round loop, so it owns the sampling cadence).
+  [[nodiscard]] sim::Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const net::Transport& transport() const noexcept {
     return transport_;
   }
@@ -159,6 +163,25 @@ class DamSystem final : public Env {
   [[nodiscard]] std::size_t peak_queue_bytes() const noexcept {
     return transport_.stats().peak_queue_bytes;
   }
+
+  /// Queue high-water since the previous call (window-scoped companion to
+  /// peak_queue_bytes; see net::Transport::take_window_peak).
+  [[nodiscard]] std::size_t take_window_queue_peak() noexcept {
+    return transport_.take_window_peak();
+  }
+
+  /// Point-in-time per-process bookkeeping footprint, in logical bytes
+  /// (element counts × element sizes — deterministic across machines):
+  /// seen-sets (duplicate suppression), delivered-sets (reliability
+  /// accounting), and recovery request-dedup sets. This is the memory the
+  /// PR 8 follow-up flagged as the S=10⁷ blocker; the workload driver
+  /// samples it at flight-recorder window boundaries.
+  struct BookkeepingGauges {
+    std::size_t seen_bytes = 0;
+    std::size_t delivered_bytes = 0;
+    std::size_t request_bytes = 0;
+  };
+  [[nodiscard]] BookkeepingGauges bookkeeping_gauges() const;
 
   /// Processes that delivered `event` so far.
   [[nodiscard]] const std::unordered_set<ProcessId>& delivered_set(

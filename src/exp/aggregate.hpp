@@ -107,6 +107,19 @@ struct ScenarioPoint {
   util::Accumulator msg_inter_sends;
   util::Accumulator msg_control_sends;
   util::Accumulator msg_delivers;
+
+  // --- Run-timeline flight recorder (both lanes). -------------------------
+  /// Windowed time series pooled over every run of the point: counters sum,
+  /// byte peaks/gauges take the worst window of any run, per-window latency
+  /// sketches merge in run→shard order (bit-identical for any --jobs,
+  /// exactly like latency_sketch above).
+  util::Timeline timeline;
+
+  /// Per-round delivery / control-send counts summed over runs (index =
+  /// round). Integer sums, so order-independent and exactly mergeable.
+  /// control_per_round stays empty for frozen sweeps (no control plane).
+  std::vector<std::uint64_t> deliveries_per_round;
+  std::vector<std::uint64_t> control_per_round;
 };
 
 /// Empty aggregate for one sweep point: group labels/sizes from the

@@ -1,5 +1,6 @@
 #include "exp/report.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -195,6 +196,51 @@ void csv_report_rows(util::CsvWriter& csv, const std::string& scenario,
   }
 }
 
+void timeline_csv_header(util::CsvWriter& csv) {
+  csv.header({"scenario", "grid", "alive", "window_start", "window_rounds",
+              "deliveries", "reliability_so_far", "latency_p50", "latency_p99",
+              "publishes", "event_sends", "inter_sends", "control_sends",
+              "joins", "leaves", "crashes", "recovers", "queue_peak_bytes",
+              "seen_bytes", "delivered_bytes", "request_bytes"});
+}
+
+void timeline_csv_rows(util::CsvWriter& csv, const std::string& scenario,
+                       const GridPoint& grid, const SweepResult& sweep) {
+  const std::string label = grid_label(grid);
+  const auto cell = [](auto value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  };
+  for (const ScenarioPoint& point : sweep.points) {
+    const util::Timeline& timeline = point.timeline;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < timeline.windows().size(); ++i) {
+      const util::Timeline::Window& window = timeline.windows()[i];
+      cumulative += window.deliveries;
+      double reliability = 0.0;
+      if (point.expected_deliveries > 0) {
+        reliability = std::min(
+            1.0, static_cast<double>(cumulative) /
+                     static_cast<double>(point.expected_deliveries));
+      }
+      csv.row_strings({scenario, label, cell(point.alive_fraction),
+                       cell(i * timeline.window_rounds()),
+                       cell(timeline.window_rounds()),
+                       cell(window.deliveries), cell(reliability),
+                       cell(window.latency.quantile(0.50)),
+                       cell(window.latency.quantile(0.99)),
+                       cell(window.publishes), cell(window.event_sends),
+                       cell(window.inter_sends), cell(window.control_sends),
+                       cell(window.joins), cell(window.leaves),
+                       cell(window.crashes), cell(window.recovers),
+                       cell(window.queue_peak_bytes), cell(window.seen_bytes),
+                       cell(window.delivered_bytes),
+                       cell(window.request_bytes)});
+    }
+  }
+}
+
 // --- JSON emission ---------------------------------------------------------
 
 namespace {
@@ -264,6 +310,57 @@ void emit_latency_quantiles(std::ostream& out,
       << ",\"compacted\":" << (sketch.compacted() ? "true" : "false") << '}';
 }
 
+void emit_timeline(std::ostream& out, const ScenarioPoint& point) {
+  const util::Timeline& timeline = point.timeline;
+  out << "\"timeline\":{\"window\":" << timeline.window_rounds()
+      << ",\"peak_bookkeeping_bytes\":" << timeline.peak_bookkeeping_bytes()
+      << ",\"windows\":[";
+  std::uint64_t cumulative = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < timeline.windows().size(); ++i) {
+    const util::Timeline::Window& w = timeline.windows()[i];
+    cumulative += w.deliveries;
+    double reliability = 0.0;
+    if (point.expected_deliveries > 0) {
+      reliability =
+          std::min(1.0, static_cast<double>(cumulative) /
+                            static_cast<double>(point.expected_deliveries));
+    }
+    if (!first) out << ',';
+    first = false;
+    out << "{\"start_round\":" << i * timeline.window_rounds()
+        << ",\"deliveries\":" << w.deliveries
+        << ",\"reliability_so_far\":" << json_number(reliability)
+        << ",\"latency_p50\":" << json_number(w.latency.quantile(0.50))
+        << ",\"latency_p99\":" << json_number(w.latency.quantile(0.99))
+        << ",\"publishes\":" << w.publishes
+        << ",\"event_sends\":" << w.event_sends
+        << ",\"inter_sends\":" << w.inter_sends
+        << ",\"control_sends\":" << w.control_sends << ",\"joins\":" << w.joins
+        << ",\"leaves\":" << w.leaves << ",\"crashes\":" << w.crashes
+        << ",\"recovers\":" << w.recovers
+        << ",\"queue_peak_bytes\":" << w.queue_peak_bytes
+        << ",\"seen_bytes\":" << w.seen_bytes
+        << ",\"delivered_bytes\":" << w.delivered_bytes
+        << ",\"request_bytes\":" << w.request_bytes << '}';
+  }
+  out << ']';
+  // Satellite of the same flight recorder: the per-round vectors
+  // sim::Metrics has collected since PR 7, finally exported (summed over
+  // runs; exact integers, so jobs-independent).
+  out << ",\"deliveries_per_round\":[";
+  for (std::size_t i = 0; i < point.deliveries_per_round.size(); ++i) {
+    if (i != 0) out << ',';
+    out << point.deliveries_per_round[i];
+  }
+  out << "],\"control_per_round\":[";
+  for (std::size_t i = 0; i < point.control_per_round.size(); ++i) {
+    if (i != 0) out << ',';
+    out << point.control_per_round[i];
+  }
+  out << "]}";
+}
+
 void emit_deadline_curve(std::ostream& out, const ScenarioPoint& point) {
   out << "\"deadline_curve\":[";
   bool first = true;
@@ -312,6 +409,7 @@ void BenchReport::write(std::ostream& out) const {
         << json_number(sweep.dissemination_seconds)
         << ",\"peak_table_bytes\":" << sweep.peak_table_bytes
         << ",\"peak_queue_bytes\":" << sweep.peak_queue_bytes
+        << ",\"peak_bookkeeping_bytes\":" << sweep.peak_bookkeeping_bytes
         << ",\"runs\":" << sweep.total_runs
         << ",\"runs_per_sec\":" << json_number(runs_per_sec)
         << ",\"events\":" << sweep.total_events
@@ -367,6 +465,8 @@ void BenchReport::write(std::ostream& out) const {
       out << ',';
       emit_accumulator(out, "delivers", point.msg_delivers);
       out << '}';
+      out << ',';
+      emit_timeline(out, point);
       out << ",\"groups\":[";
       bool first_group = true;
       for (const ScenarioGroupStats& group : point.groups) {

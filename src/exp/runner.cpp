@@ -53,6 +53,7 @@ SweepResult run_sweep(const sim::Scenario& scenario,
     double dissemination_seconds = 0.0;
     std::size_t peak_table_bytes = 0;
     std::size_t peak_queue_bytes = 0;
+    std::size_t peak_bookkeeping_bytes = 0;
   };
   std::vector<Shard> shards(scenario.alive_sweep.size() * shard_count);
 
@@ -89,6 +90,9 @@ SweepResult run_sweep(const sim::Scenario& scenario,
                 std::max(shard.peak_table_bytes, result.table_bytes);
             shard.peak_queue_bytes =
                 std::max(shard.peak_queue_bytes, result.queue_bytes);
+            shard.peak_bookkeeping_bytes =
+                std::max<std::size_t>(shard.peak_bookkeeping_bytes,
+                                      result.timeline.peak_bookkeeping_bytes());
           } else {
             const core::FrozenRunResult result = core::run_frozen_simulation(
                 scenario.config_for(dag, alive, static_cast<int>(run)));
@@ -99,6 +103,9 @@ SweepResult run_sweep(const sim::Scenario& scenario,
             shard.dissemination_seconds += result.dissemination_seconds;
             shard.peak_table_bytes =
                 std::max(shard.peak_table_bytes, result.table_bytes);
+            shard.peak_bookkeeping_bytes =
+                std::max<std::size_t>(shard.peak_bookkeeping_bytes,
+                                      result.timeline.peak_bookkeeping_bytes());
           }
         }
       });
@@ -129,6 +136,8 @@ SweepResult run_sweep(const sim::Scenario& scenario,
           std::max(result.peak_table_bytes, shard.peak_table_bytes);
       result.peak_queue_bytes =
           std::max(result.peak_queue_bytes, shard.peak_queue_bytes);
+      result.peak_bookkeeping_bytes = std::max(result.peak_bookkeeping_bytes,
+                                               shard.peak_bookkeeping_bytes);
     }
     result.points.push_back(std::move(point));
   }

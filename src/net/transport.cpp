@@ -72,8 +72,19 @@ void Transport::note_high_water() {
   std::size_t bytes = bodies_.bytes();
   for (const auto& [round, slab] : in_flight_) bytes += slab.bytes();
   stats_.peak_queue_bytes = std::max(stats_.peak_queue_bytes, bytes);
+  window_peak_bytes_ = std::max(window_peak_bytes_, bytes);
   stats_.peak_queue_records =
       std::max<std::uint64_t>(stats_.peak_queue_records, queued_records_);
+}
+
+std::size_t Transport::take_window_peak() noexcept {
+  // The footprint only grows on send (where note_high_water ratchets the
+  // window), so max(window, current) covers both a quiet window and bytes
+  // still in flight at the boundary.
+  const std::size_t current = queue_bytes();
+  const std::size_t peak = std::max(window_peak_bytes_, current);
+  window_peak_bytes_ = current;
+  return peak;
 }
 
 std::size_t Transport::queue_bytes() const noexcept {

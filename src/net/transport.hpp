@@ -149,6 +149,13 @@ class Transport {
   /// Current logical in-flight footprint (see Stats::peak_queue_bytes).
   [[nodiscard]] std::size_t queue_bytes() const noexcept;
 
+  /// Queue high-water since the previous take_window_peak call, then
+  /// resets the window to the current footprint. The flight recorder
+  /// calls this at window boundaries to attribute queue pressure to the
+  /// window it happened in; Stats::peak_queue_bytes (whole-run ratchet)
+  /// is unaffected.
+  [[nodiscard]] std::size_t take_window_peak() noexcept;
+
   /// Messages currently queued.
   [[nodiscard]] std::size_t queued_records() const noexcept {
     return queued_records_;
@@ -233,6 +240,7 @@ class Transport {
   EventBodyPool bodies_;
   Message scratch_;
   std::size_t queued_records_ = 0;
+  std::size_t window_peak_bytes_ = 0;  ///< high-water since take_window_peak
   Stats stats_;
 };
 

@@ -27,6 +27,7 @@ void Metrics::note_event_delivery(net::EventId event, Round now) {
   entry.latency_sum += latency;
   entry.max_latency = std::max(entry.max_latency, latency);
   latency_sketch_.add(static_cast<double>(latency));
+  timeline_.note_delivery(now, static_cast<double>(latency));
   if (deliveries_per_round_.size() <= now) {
     deliveries_per_round_.resize(now + 1, 0);
   }
@@ -34,11 +35,22 @@ void Metrics::note_event_delivery(net::EventId event, Round now) {
 }
 
 void Metrics::note_control_send(Round round) {
+  timeline_.note_control_send(round);
   if (control_per_round_.size() <= round) {
     control_per_round_.resize(round + 1, 0);
   }
   ++control_per_round_[round];
 }
+
+void Metrics::note_event_send(Round round, bool intergroup) {
+  if (intergroup) {
+    timeline_.note_inter_send(round);
+  } else {
+    timeline_.note_event_send(round);
+  }
+}
+
+void Metrics::note_publish(Round round) { timeline_.note_publish(round); }
 
 void Metrics::note_infection(Round round) {
   if (infections_per_round_.size() <= round) {
@@ -79,6 +91,7 @@ void Metrics::reset() {
   deliveries_per_round_.clear();
   control_per_round_.clear();
   latency_sketch_ = util::QuantileSketch();
+  timeline_ = util::Timeline();
 }
 
 }  // namespace dam::sim

@@ -15,6 +15,7 @@
 #include "sim/clock.hpp"
 #include "topics/topic.hpp"
 #include "util/quantiles.hpp"
+#include "util/timeline.hpp"
 
 namespace dam::sim {
 
@@ -71,6 +72,24 @@ class Metrics {
   /// same sends as GroupCounters::control_sent, but as a timeline.
   void note_control_send(Round round);
 
+  /// Round-attributed event-message sends, split by hop class. Counts the
+  /// same sends as GroupCounters::intra_sent / inter_sent, but feeds the
+  /// flight recorder's windowed series.
+  void note_event_send(Round round, bool intergroup);
+
+  /// Round-attributed event injections (one per begin_event in practice,
+  /// but kept separate so replayed history does not pollute the series).
+  void note_publish(Round round);
+
+  /// Run-timeline flight recorder. Deliveries, sends, and control traffic
+  /// are fed by the notes above; churn events, queue high-water, and
+  /// bookkeeping gauges are fed by the workload driver (which owns the
+  /// round loop and the window-boundary sampling cadence).
+  [[nodiscard]] const util::Timeline& timeline() const noexcept {
+    return timeline_;
+  }
+  [[nodiscard]] util::Timeline& timeline() noexcept { return timeline_; }
+
   /// Newly infected process counts per round (index = round).
   [[nodiscard]] const std::vector<std::uint64_t>& infections_per_round()
       const noexcept {
@@ -105,6 +124,7 @@ class Metrics {
   std::vector<std::uint64_t> deliveries_per_round_;
   std::vector<std::uint64_t> control_per_round_;
   util::QuantileSketch latency_sketch_;
+  util::Timeline timeline_;
   static const GroupCounters kZero;
 };
 

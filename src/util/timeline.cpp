@@ -1,0 +1,110 @@
+#include "util/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dam::util {
+
+Timeline::Timeline(std::size_t window_rounds)
+    : window_rounds_(window_rounds == 0 ? 1 : window_rounds) {}
+
+Timeline::Window& Timeline::window_for(std::uint64_t round) {
+  const std::size_t index = window_index(round);
+  if (index >= windows_.size()) {
+    windows_.resize(index + 1);
+  }
+  return windows_[index];
+}
+
+void Timeline::note_delivery(std::uint64_t round, double latency,
+                             std::uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  Window& window = window_for(round);
+  window.deliveries += weight;
+  window.latency.add(latency, weight);
+}
+
+void Timeline::note_publish(std::uint64_t round) {
+  ++window_for(round).publishes;
+}
+
+void Timeline::note_event_send(std::uint64_t round) {
+  ++window_for(round).event_sends;
+}
+
+void Timeline::note_inter_send(std::uint64_t round) {
+  ++window_for(round).inter_sends;
+}
+
+void Timeline::note_control_send(std::uint64_t round) {
+  ++window_for(round).control_sends;
+}
+
+void Timeline::note_join(std::uint64_t round) { ++window_for(round).joins; }
+
+void Timeline::note_leave(std::uint64_t round) { ++window_for(round).leaves; }
+
+void Timeline::note_crash(std::uint64_t round) { ++window_for(round).crashes; }
+
+void Timeline::note_recover(std::uint64_t round) {
+  ++window_for(round).recovers;
+}
+
+void Timeline::note_queue_peak(std::uint64_t round, std::uint64_t bytes) {
+  Window& window = window_for(round);
+  window.queue_peak_bytes = std::max(window.queue_peak_bytes, bytes);
+}
+
+void Timeline::sample_gauges(std::uint64_t round, std::uint64_t seen_bytes,
+                             std::uint64_t delivered_bytes,
+                             std::uint64_t request_bytes) {
+  Window& window = window_for(round);
+  window.seen_bytes = std::max(window.seen_bytes, seen_bytes);
+  window.delivered_bytes = std::max(window.delivered_bytes, delivered_bytes);
+  window.request_bytes = std::max(window.request_bytes, request_bytes);
+}
+
+void Timeline::merge(const Timeline& other) {
+  if (other.window_rounds_ != window_rounds_) {
+    throw std::invalid_argument(
+        "Timeline::merge: window widths differ; timelines are only mergeable "
+        "when built on the same round grid");
+  }
+  if (other.windows_.empty()) {
+    return;
+  }
+  if (windows_.size() < other.windows_.size()) {
+    windows_.resize(other.windows_.size());
+  }
+  for (std::size_t i = 0; i < other.windows_.size(); ++i) {
+    Window& into = windows_[i];
+    const Window& from = other.windows_[i];
+    into.deliveries += from.deliveries;
+    into.publishes += from.publishes;
+    into.event_sends += from.event_sends;
+    into.inter_sends += from.inter_sends;
+    into.control_sends += from.control_sends;
+    into.joins += from.joins;
+    into.leaves += from.leaves;
+    into.crashes += from.crashes;
+    into.recovers += from.recovers;
+    into.queue_peak_bytes = std::max(into.queue_peak_bytes,
+                                     from.queue_peak_bytes);
+    into.seen_bytes = std::max(into.seen_bytes, from.seen_bytes);
+    into.delivered_bytes = std::max(into.delivered_bytes, from.delivered_bytes);
+    into.request_bytes = std::max(into.request_bytes, from.request_bytes);
+    into.latency.merge(from.latency);
+  }
+}
+
+std::uint64_t Timeline::peak_bookkeeping_bytes() const noexcept {
+  std::uint64_t peak = 0;
+  for (const Window& window : windows_) {
+    peak = std::max(peak, window.bookkeeping_bytes());
+  }
+  return peak;
+}
+
+}  // namespace dam::util

@@ -181,6 +181,10 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   const EventStream stream = generate_stream(workload, shape, seed);
 
   const std::size_t warmup = workload.engine.warmup_rounds;
+  const std::size_t horizon =
+      std::max<std::size_t>(workload.arrival.horizon, 1);
+  const std::size_t total_rounds =
+      warmup + horizon + workload.engine.drain_rounds;
   std::size_t joins = 0;
   for (const TrafficEvent& event : stream) {
     joins += event.kind == TrafficEvent::Kind::kJoin;
@@ -197,7 +201,16 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
                              {0, kNever});
     }
   }
+  // The flight recorder's churn series comes straight off the stream: every
+  // churn event lands at absolute round warmup + event.round (< total), and
+  // recover rounds are clamped to the replay — NEVER feed kNever to the
+  // window allocator (it would size the timeline to 2^27 windows).
+  util::Timeline& timeline = system.metrics().timeline();
   for (const TrafficEvent& event : stream) {
+    if (event.kind == TrafficEvent::Kind::kJoin) {
+      timeline.note_join(warmup + event.round);
+      continue;
+    }
     if (event.kind != TrafficEvent::Kind::kCrash &&
         event.kind != TrafficEvent::Kind::kLeave) {
       continue;
@@ -208,6 +221,12 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
     const sim::Round up = event.kind == TrafficEvent::Kind::kCrash
                               ? down + std::max<std::size_t>(event.length, 1)
                               : kNever;
+    if (event.kind == TrafficEvent::Kind::kCrash) {
+      timeline.note_crash(down);
+      if (up < total_rounds) timeline.note_recover(up);
+    } else {
+      timeline.note_leave(down);
+    }
     failures->add_downtime(process, {down, up});
   }
   // Install the model BEFORE spawning: swapping it rebuilds the transport
@@ -279,19 +298,31 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
           static_cast<double>(system.metrics().total_control_messages());
     }
   };
+  // Window-boundary sampling for the flight recorder: read-only gauge
+  // reads plus the transport's take-and-reset window peak — no RNG draws,
+  // so recording cannot perturb the run.
+  const std::size_t window_rounds = timeline.window_rounds();
+  auto sample_window = [&](std::size_t last_round) {
+    const core::DamSystem::BookkeepingGauges gauges =
+        system.bookkeeping_gauges();
+    timeline.sample_gauges(last_round, gauges.seen_bytes,
+                           gauges.delivered_bytes, gauges.request_bytes);
+    timeline.note_queue_peak(last_round, system.take_window_queue_peak());
+  };
   auto step = [&](std::size_t count) {
     for (std::size_t i = 0; i < count; ++i) {
       system.run_rounds(1);
       ++rounds_executed;
       measure_link();
       snapshot_due();
+      if (rounds_executed % window_rounds == 0) {
+        sample_window(rounds_executed - 1);
+      }
     }
   };
 
   // --- Replay: warmup, then the stream round by round, then drain. --------
   step(warmup);
-  const std::size_t horizon =
-      std::max<std::size_t>(workload.arrival.horizon, 1);
   std::size_t next_event = 0;
   for (std::size_t round = 0; round < horizon; ++round) {
     for (; next_event < stream.size() && stream[next_event].round == round;
@@ -323,6 +354,10 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
     step(1);
   }
   step(workload.engine.drain_rounds);
+  // Final partial window: the modulo sampler only fires on full windows.
+  if (rounds_executed > 0 && rounds_executed % window_rounds != 0) {
+    sample_window(rounds_executed - 1);
+  }
   if (result.measured_link && !link_reached) {
     result.rounds_to_link = static_cast<double>(rounds_executed);
     result.control_at_link =
@@ -365,6 +400,9 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   // Every delivery the Metrics sketch saw belongs to one of this run's
   // publications (begin_event gates the sketch), so it can be taken whole.
   result.latency_sketch = system.metrics().latency_sketch();
+  result.timeline = system.metrics().timeline();
+  result.deliveries_per_round = system.metrics().deliveries_per_round();
+  result.control_per_round = system.metrics().control_per_round();
   result.trace_publishes = recorder->total(sim::TraceKind::kPublish);
   result.trace_event_sends = recorder->total(sim::TraceKind::kEventSend);
   result.trace_inter_sends = recorder->total(sim::TraceKind::kInterSend);

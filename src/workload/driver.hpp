@@ -27,6 +27,7 @@
 #include "sim/trace.hpp"
 #include "topics/hierarchy.hpp"
 #include "util/quantiles.hpp"
+#include "util/timeline.hpp"
 #include "workload/traffic.hpp"
 
 namespace dam::workload {
@@ -129,6 +130,21 @@ struct DynamicRunResult {
   /// dissemination wave's memory measurand, gated by bench_dynamic_scale
   /// and tools/bench_diff.
   std::size_t queue_bytes = 0;
+
+  /// Run-timeline flight recorder: windowed deliveries / sends / churn
+  /// counters, rolling latency sketches, per-window queue high-water, and
+  /// bookkeeping gauges (seen/delivered/request-set logical bytes) sampled
+  /// at window boundaries. The replay loop is serial and the gauges are
+  /// read-only samples, so the timeline is bit-identical for every
+  /// --jobs/--threads value.
+  util::Timeline timeline;
+
+  /// First-time event deliveries per round (index = round) — the
+  /// per-round companion of the windowed timeline (sim::Metrics').
+  std::vector<std::uint64_t> deliveries_per_round;
+
+  /// Control sends per round (index = round) (sim::Metrics').
+  std::vector<std::uint64_t> control_per_round;
 };
 
 /// Executes one dynamic run: seed and streams derive from

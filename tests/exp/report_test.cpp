@@ -221,6 +221,17 @@ TEST(BenchReport, DocumentCarriesTheV1Schema) {
         "\"delivers\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  // Flight-recorder block: the sweep-level bookkeeping peak, the windowed
+  // time series, and the per-round vectors.
+  for (const char* key :
+       {"\"peak_bookkeeping_bytes\":", "\"timeline\":", "\"window\":",
+        "\"windows\":", "\"start_round\":", "\"deliveries\":",
+        "\"reliability_so_far\":", "\"joins\":", "\"leaves\":",
+        "\"crashes\":", "\"recovers\":", "\"queue_peak_bytes\":",
+        "\"seen_bytes\":", "\"delivered_bytes\":", "\"request_bytes\":",
+        "\"deliveries_per_round\":", "\"control_per_round\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
   EXPECT_NE(json.find("\"grid\":{\"a\":2}"), std::string::npos);
 }
 
@@ -275,6 +286,26 @@ TEST(CsvReport, OneRowPerSweepPointAndGroup) {
   for (const char c : text) lines += c == '\n';
   EXPECT_EQ(lines, 1u + 2u * 2u);  // header + points × groups
   EXPECT_NE(text.find("scenario,grid,alive,topic"), std::string::npos);
+  EXPECT_NE(text.find("tiny,g=5,"), std::string::npos);
+}
+
+TEST(TimelineCsv, OneRowPerSweepPointAndWindow) {
+  const sim::Scenario scenario = tiny_scenario();
+  const SweepResult sweep = tiny_sweep(scenario);
+  std::ostringstream out;
+  util::CsvWriter csv(out);
+  timeline_csv_header(csv);
+  timeline_csv_rows(csv, scenario.name, {{"g", 5.0}}, sweep);
+  const std::string text = out.str();
+  std::size_t expected_rows = 0;
+  for (const ScenarioPoint& point : sweep.points) {
+    expected_rows += point.timeline.windows().size();
+  }
+  ASSERT_GT(expected_rows, 0u);
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + expected_rows);
+  EXPECT_NE(text.find("scenario,grid,alive,window_start"), std::string::npos);
   EXPECT_NE(text.find("tiny,g=5,"), std::string::npos);
 }
 

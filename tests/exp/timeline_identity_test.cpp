@@ -1,0 +1,189 @@
+// The flight recorder rides the bit-identity contract: the merged
+// per-point timeline (windowed counters, gauges, per-window latency
+// sketches), the per-round delivery/control vectors, and the sweep-level
+// peak_bookkeeping_bytes are bitwise identical for every --jobs value
+// (cross-run fan-out) and every --threads value (intra-run sharding), on
+// BOTH engines. Mirrors latency_slo_test.cpp / threads_test.cpp for the
+// aggregates PR 7 introduced.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "exp/runner.hpp"
+#include "sim/scenario.hpp"
+#include "util/timeline.hpp"
+
+namespace dam::exp {
+namespace {
+
+/// Bitwise equality of every flight-recorder output of two sweeps.
+void expect_timeline_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.peak_bookkeeping_bytes, b.peak_bookkeeping_bytes);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t pt = 0; pt < a.points.size(); ++pt) {
+    SCOPED_TRACE(pt);
+    const ScenarioPoint& pa = a.points[pt];
+    const ScenarioPoint& pb = b.points[pt];
+    EXPECT_EQ(pa.deliveries_per_round, pb.deliveries_per_round);
+    EXPECT_EQ(pa.control_per_round, pb.control_per_round);
+    const util::Timeline& ta = pa.timeline;
+    const util::Timeline& tb = pb.timeline;
+    EXPECT_EQ(ta.window_rounds(), tb.window_rounds());
+    ASSERT_EQ(ta.windows().size(), tb.windows().size());
+    for (std::size_t w = 0; w < ta.windows().size(); ++w) {
+      SCOPED_TRACE(w);
+      const util::Timeline::Window& wa = ta.windows()[w];
+      const util::Timeline::Window& wb = tb.windows()[w];
+      EXPECT_EQ(wa.deliveries, wb.deliveries);
+      EXPECT_EQ(wa.publishes, wb.publishes);
+      EXPECT_EQ(wa.event_sends, wb.event_sends);
+      EXPECT_EQ(wa.inter_sends, wb.inter_sends);
+      EXPECT_EQ(wa.control_sends, wb.control_sends);
+      EXPECT_EQ(wa.joins, wb.joins);
+      EXPECT_EQ(wa.leaves, wb.leaves);
+      EXPECT_EQ(wa.crashes, wb.crashes);
+      EXPECT_EQ(wa.recovers, wb.recovers);
+      EXPECT_EQ(wa.queue_peak_bytes, wb.queue_peak_bytes);
+      EXPECT_EQ(wa.seen_bytes, wb.seen_bytes);
+      EXPECT_EQ(wa.delivered_bytes, wb.delivered_bytes);
+      EXPECT_EQ(wa.request_bytes, wb.request_bytes);
+      // Bitwise sketch equality — centroid list, not just quantiles.
+      EXPECT_TRUE(wa.latency.centroids() == wb.latency.centroids());
+      EXPECT_EQ(wa.latency.count(), wb.latency.count());
+    }
+  }
+}
+
+std::uint64_t timeline_deliveries(const util::Timeline& timeline) {
+  std::uint64_t total = 0;
+  for (const util::Timeline::Window& window : timeline.windows()) {
+    total += window.deliveries;
+  }
+  return total;
+}
+
+TEST(TimelineIdentity, FrozenSweepBitIdenticalAcrossJobs) {
+  const sim::Scenario* preset = sim::find_scenario("fig9");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 8;
+  scenario.alive_sweep = {0.5, 1.0};
+
+  const SweepResult reference = run_sweep(scenario, {.jobs = 1});
+  ASSERT_FALSE(reference.points.back().timeline.empty());
+  EXPECT_GT(timeline_deliveries(reference.points.back().timeline), 0u);
+  // The frozen lane's only bookkeeping is the delivered bitmap; it still
+  // must register as a non-zero peak.
+  EXPECT_GT(reference.peak_bookkeeping_bytes, 0u);
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    SCOPED_TRACE(jobs);
+    expect_timeline_identical(reference, run_sweep(scenario, {.jobs = jobs}));
+  }
+}
+
+TEST(TimelineIdentity, DynamicSweepBitIdenticalAcrossJobs) {
+  const sim::Scenario* preset = sim::find_scenario("zipf-storm");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 4;
+  scenario.alive_sweep = {0.85, 1.0};
+
+  const SweepResult reference = run_sweep(scenario, {.jobs = 1});
+  ASSERT_FALSE(reference.points.front().timeline.empty());
+  EXPECT_GT(reference.peak_bookkeeping_bytes, 0u);
+  // Satellite of the same PR: the per-round vectors (dead data since PR 7)
+  // must now flow through the aggregate.
+  EXPECT_FALSE(reference.points.front().deliveries_per_round.empty());
+  EXPECT_FALSE(reference.points.front().control_per_round.empty());
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    SCOPED_TRACE(jobs);
+    expect_timeline_identical(reference, run_sweep(scenario, {.jobs = jobs}));
+  }
+}
+
+TEST(TimelineIdentity, FrozenSweepBitIdenticalAcrossThreads) {
+  const sim::Scenario* preset = sim::find_scenario("giant-flat");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.group_sizes = {6000};  // still multi-chunk (kRowChunk = 4096)
+  scenario.runs = 3;
+  scenario.alive_sweep = {0.85, 1.0};
+
+  scenario.threads = 1;
+  const SweepResult reference = run_sweep(scenario, {.jobs = 1});
+  ASSERT_FALSE(reference.points.back().timeline.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    scenario.threads = threads;
+    expect_timeline_identical(reference, run_sweep(scenario, {.jobs = 1}));
+  }
+}
+
+TEST(TimelineIdentity, DynamicSweepBitIdenticalAcrossThreads) {
+  const sim::Scenario* preset = sim::find_scenario("zipf-storm");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 4;
+  scenario.alive_sweep = {0.85, 1.0};
+
+  scenario.threads = 1;
+  const SweepResult reference = run_sweep(scenario, {.jobs = 1});
+  ASSERT_FALSE(reference.points.front().timeline.empty());
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    scenario.threads = threads;
+    expect_timeline_identical(reference, run_sweep(scenario, {.jobs = 1}));
+  }
+}
+
+TEST(TimelineIdentity, WindowedDeliveriesAgreeWithPerRoundVectors) {
+  // Internal consistency: the windowed series and the per-round vector are
+  // two bucketings of the same delivery stream, so their totals match, and
+  // the windowed total equals the summed per-window sketch weight (every
+  // delivery carries exactly one latency sample).
+  const sim::Scenario* preset = sim::find_scenario("zipf-storm");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 3;
+  scenario.alive_sweep = {1.0};
+
+  const SweepResult sweep = run_sweep(scenario, {.jobs = 2});
+  const ScenarioPoint& point = sweep.points.front();
+  const std::uint64_t windowed = timeline_deliveries(point.timeline);
+  const std::uint64_t per_round =
+      std::accumulate(point.deliveries_per_round.begin(),
+                      point.deliveries_per_round.end(), std::uint64_t{0});
+  EXPECT_EQ(windowed, per_round);
+  std::uint64_t sketch_weight = 0;
+  for (const util::Timeline::Window& window : point.timeline.windows()) {
+    sketch_weight += window.latency.count();
+  }
+  EXPECT_EQ(windowed, sketch_weight);
+  // The sweep-level peak is exactly the timeline's own measurand.
+  EXPECT_GE(sweep.peak_bookkeeping_bytes,
+            point.timeline.peak_bookkeeping_bytes());
+}
+
+TEST(TimelineIdentity, FrozenDeliveriesPerRoundFlowThroughAggregate) {
+  // Satellite check on the frozen lane: deliveries_per_round was recorded
+  // by the engine since PR 7 but never exported; it must now arrive at the
+  // point level, consistent with the timeline built from it.
+  const sim::Scenario* preset = sim::find_scenario("fig9");
+  ASSERT_NE(preset, nullptr);
+  sim::Scenario scenario = *preset;
+  scenario.runs = 4;
+  scenario.alive_sweep = {1.0};
+
+  const SweepResult sweep = run_sweep(scenario, {.jobs = 2});
+  const ScenarioPoint& point = sweep.points.front();
+  ASSERT_FALSE(point.deliveries_per_round.empty());
+  const std::uint64_t per_round =
+      std::accumulate(point.deliveries_per_round.begin(),
+                      point.deliveries_per_round.end(), std::uint64_t{0});
+  EXPECT_EQ(timeline_deliveries(point.timeline), per_round);
+  EXPECT_GT(per_round, 0u);
+}
+
+}  // namespace
+}  // namespace dam::exp

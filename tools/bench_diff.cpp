@@ -9,8 +9,10 @@
 // when any matched sweep regressed by more than the threshold (default
 // 20% — the CI gate), 2 on usage/parse errors, 0 otherwise. Throughput
 // regresses when the ratio falls BELOW 1 - threshold; latency and memory
-// (peak_queue_bytes, the transport's high-water in-flight footprint)
-// regress when the ratio rises ABOVE 1 + threshold. Unlike the wall-clock
+// (peak_queue_bytes, the transport's high-water in-flight footprint, and
+// peak_bookkeeping_bytes, the flight recorder's worst-window
+// seen/delivered/request-set footprint) regress when the ratio rises
+// ABOVE 1 + threshold. Unlike the wall-clock
 // rates, latency and memory are deterministic measurands, so drift there
 // is a real behavior change, not machine noise. Sweeps present on only one
 // side are reported but never fail the gate (presets come and go), and
@@ -56,6 +58,10 @@ struct SweepRates {
   // Gated memory high-water mark (logical bytes — deterministic). Zero for
   // frozen sweeps and pre-slab documents; the gate skips those.
   double peak_queue_bytes = 0.0;
+  // Gated bookkeeping high-water mark (logical bytes of the worst window's
+  // seen/delivered/request sets — deterministic). Zero for pre-timeline
+  // documents; the gate skips those.
+  double peak_bookkeeping_bytes = 0.0;
   // Context, displayed but never gated: worker counts and where the wall
   // time went (tables/spawn vs dissemination/replay).
   double jobs = 1.0;
@@ -95,6 +101,8 @@ std::vector<SweepRates> load_rates(const std::string& path) {
     entry.latency_p99 = sweep.number_or("latency_p99", 0.0);
     entry.latency_p999 = sweep.number_or("latency_p999", 0.0);
     entry.peak_queue_bytes = sweep.number_or("peak_queue_bytes", 0.0);
+    entry.peak_bookkeeping_bytes =
+        sweep.number_or("peak_bookkeeping_bytes", 0.0);
     entry.jobs = sweep.number_or("jobs", 1.0);
     entry.threads = sweep.number_or("threads", 1.0);
     entry.table_build_seconds = sweep.number_or("table_build_seconds", 0.0);
@@ -239,6 +247,8 @@ int main(int argc, char** argv) {
         }
       };
       check_memory("peak queue", base.peak_queue_bytes, it->peak_queue_bytes);
+      check_memory("peak bookkeeping", base.peak_bookkeeping_bytes,
+                   it->peak_bookkeeping_bytes);
     }
     for (const SweepRates& cur : current) {
       const bool known = std::any_of(

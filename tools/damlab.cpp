@@ -26,6 +26,7 @@
 #include "exp/grid.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "exp/trace_dump.hpp"
 #include "sim/scenario.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -75,6 +76,15 @@ int main(int argc, char** argv) {
                   "shards per sweep point (fixed reduction shape; advanced)");
   args.add_option("json", "", "write the JSON bench report to this path");
   args.add_option("csv", "", "write long-format CSV rows to this path");
+  args.add_option("timeline", "",
+                  "write the flight recorder's windowed time-series as "
+                  "long-format CSV (one row per sweep, point, window) to "
+                  "this path");
+  args.add_option("trace", "",
+                  "dynamic scenarios only: replay run 0 of the FIRST "
+                  "selected scenario x grid cell with a bounded "
+                  "TraceRecorder and dump its ring buffer as CSV here "
+                  "(instead of running the sweeps)");
   args.add_flag("quiet", "suppress the per-sweep console tables");
   args.add_flag("list-scenarios", "list the named scenario presets and exit");
   args.add_option("log-level", "off",
@@ -135,6 +145,11 @@ int main(int argc, char** argv) {
       csv = std::make_unique<util::CsvWriter>(args.str("csv"));
       exp::csv_report_header(*csv);
     }
+    std::unique_ptr<util::CsvWriter> timeline_csv;
+    if (!args.str("timeline").empty()) {
+      timeline_csv = std::make_unique<util::CsvWriter>(args.str("timeline"));
+      exp::timeline_csv_header(*timeline_csv);
+    }
     exp::BenchReport report;
 
     for (const sim::Scenario& preset : selected) {
@@ -152,6 +167,12 @@ int main(int argc, char** argv) {
           scenario.threads = static_cast<unsigned>(args.integer("threads"));
         }
         exp::apply_grid_point(scenario, cell);
+        if (!args.str("trace").empty()) {
+          // Same semantics as damsim --trace: one traced replay of run 0,
+          // first selected scenario x first grid cell, overrides applied.
+          return exp::dump_trace(scenario, args.str("trace"), std::cout,
+                                 std::cerr, "damlab");
+        }
         const exp::SweepResult sweep = exp::run_sweep(scenario, options);
         if (!args.flag("quiet")) {
           std::cout << "\n=== scenario " << scenario.name;
@@ -176,6 +197,9 @@ int main(int argc, char** argv) {
                     << sweep.peak_queue_bytes / 1024 << " KiB)\n";
         }
         if (csv) exp::csv_report_rows(*csv, scenario.name, cell, sweep);
+        if (timeline_csv) {
+          exp::timeline_csv_rows(*timeline_csv, scenario.name, cell, sweep);
+        }
         report.add(scenario.name, cell, sweep);
       }
     }

@@ -13,24 +13,25 @@
 //
 // For grids over several scenarios/parameters and JSON bench reports, use
 // the full lab frontend: tools/damlab.cpp.
-#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "exp/trace_dump.hpp"
 #include "sim/scenario.hpp"
-#include "sim/trace.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
-#include "workload/driver.hpp"
 
 namespace {
 
 /// Runs one scenario through the pool and prints the shared report.
+/// `timeline_path`, when set, also dumps the flight recorder's windowed
+/// series as long-format CSV (exp::timeline_csv_rows).
 int run_and_report(const dam::sim::Scenario& scenario,
                    const std::string& csv_path,
+                   const std::string& timeline_path,
                    const dam::exp::RunnerOptions& options) {
   const dam::exp::SweepResult sweep = dam::exp::run_sweep(scenario, options);
   std::unique_ptr<dam::util::CsvWriter> csv;
@@ -38,40 +39,12 @@ int run_and_report(const dam::sim::Scenario& scenario,
     csv = std::make_unique<dam::util::CsvWriter>(csv_path);
   }
   dam::exp::print_sweep_table(sweep.points, std::cout, csv.get());
-  return 0;
-}
-
-/// --trace=FILE: replays ONE dynamic run (first alive fraction, run 0)
-/// with a bounded TraceRecorder attached and dumps the ring buffer as CSV.
-/// Tracing never perturbs the run, so the traced run is the same run 0 the
-/// sweep executes.
-int run_traced(const dam::sim::Scenario& scenario, const std::string& path) {
-  if (scenario.engine != dam::sim::EngineKind::kDynamic) {
-    std::cerr << "damsim: --trace needs a dynamic-engine scenario (the "
-                 "frozen engine has no per-message trace)\n";
-    return 2;
+  if (!timeline_path.empty()) {
+    dam::util::CsvWriter timeline_csv(timeline_path);
+    dam::exp::timeline_csv_header(timeline_csv);
+    dam::exp::timeline_csv_rows(timeline_csv, scenario.name,
+                                dam::exp::GridPoint{}, sweep);
   }
-  if (scenario.alive_sweep.empty()) {
-    std::cerr << "damsim: scenario has no alive fraction to trace\n";
-    return 2;
-  }
-  const dam::workload::DynamicScenarioBinding binding =
-      dam::workload::bind_scenario(scenario);
-  dam::sim::TraceRecorder recorder(1 << 16);
-  const dam::workload::DynamicRunResult result =
-      dam::workload::run_dynamic_simulation(
-          scenario, binding, scenario.alive_sweep.front(), 0, &recorder);
-  std::ofstream file(path);
-  if (!file) {
-    std::cerr << "damsim: cannot open trace file '" << path << "'\n";
-    return 2;
-  }
-  recorder.to_csv(file);
-  std::cout << "traced run 0 (alive=" << scenario.alive_sweep.front()
-            << "): " << recorder.total_recorded() << " events recorded, last "
-            << recorder.entries().size() << " buffered -> " << path << " ("
-            << result.rounds << " rounds, " << result.publications
-            << " publications)\n";
   return 0;
 }
 
@@ -115,6 +88,11 @@ int main(int argc, char** argv) {
                   "dynamic scenarios only: replay run 0 with a bounded "
                   "TraceRecorder and dump its ring buffer as CSV here "
                   "(instead of running the sweep)");
+  args.add_option("timeline", "",
+                  "write the flight recorder's windowed time-series "
+                  "(deliveries, reliability-so-far, latency percentiles, "
+                  "control traffic, churn, bookkeeping gauges) as "
+                  "long-format CSV to this path");
 
   try {
     args.parse(argc, argv);
@@ -157,11 +135,13 @@ int main(int argc, char** argv) {
         scenario.threads = static_cast<unsigned>(args.integer("threads"));
       }
       if (!args.str("trace").empty()) {
-        return run_traced(scenario, args.str("trace"));
+        return exp::dump_trace(scenario, args.str("trace"), std::cout,
+                               std::cerr, "damsim");
       }
       std::cout << "\n=== scenario " << scenario.name << " ===\n"
                 << scenario.summary << "\n\n";
-      return run_and_report(scenario, args.str("csv"), options);
+      return run_and_report(scenario, args.str("csv"), args.str("timeline"),
+                            options);
     }
     if (!args.str("trace").empty()) {
       std::cerr << "damsim: --trace needs --scenario (a dynamic preset)\n";
@@ -201,7 +181,8 @@ int main(int argc, char** argv) {
     } else {
       scenario.alive_sweep = {args.real("alive")};
     }
-    return run_and_report(scenario, args.str("csv"), options);
+    return run_and_report(scenario, args.str("csv"), args.str("timeline"),
+                          options);
   } catch (const util::ArgError& error) {
     std::cerr << "damsim: " << error.what() << "\n";
     return 2;
