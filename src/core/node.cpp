@@ -25,6 +25,7 @@ DamNode::DamNode(ProcessId self, TopicId topic,
       bootstrap_(self, topic, hierarchy, config.bootstrap),
       seen_(config.max_seen_events) {
   config_.params.validate();
+  seen_.set_age_horizon(config_.seen_gc_horizon);
 }
 
 void DamNode::subscribe(const std::vector<ProcessId>& group_contacts,
@@ -67,7 +68,7 @@ EventId DamNode::publish(std::vector<std::uint8_t> payload) {
   const EventId event{self_, next_sequence_++};
   // The publisher "receives" its own event: mark seen, deliver locally,
   // and run DISSEMINATE (Fig. 7 is invoked by the publisher as well).
-  seen_.remember(event);
+  seen_.remember(event, env_->now());
   Message msg;
   msg.kind = MsgKind::kEvent;
   msg.from = self_;
@@ -109,6 +110,10 @@ void DamNode::on_message(const Message& msg) {
 
 void DamNode::round(sim::Round now) {
   if (!subscribed_) return;
+  // Sustained-service GC: age out seen-set entries past the horizon before
+  // this round's gossip, so the bookkeeping gauges sampled at window
+  // boundaries see the bounded set.
+  seen_.evict_older_than(now);
   // Underlying membership gossip, with the supertopic table piggybacked
   // (Sec. V-A.2a) so fresh super contacts spread through the group. The
   // recovery extension additionally piggybacks a digest of recently seen
@@ -167,7 +172,7 @@ void DamNode::disseminate(const Message& event_msg) {
 void DamNode::handle_event(const Message& msg) {
   // Fig. 5 lines 5–10: first reception forwards + delivers; duplicates are
   // suppressed (protocol::SeenSet).
-  if (!seen_.remember(msg.event)) {
+  if (!seen_.remember(msg.event, env_->now())) {
     ++duplicates_;
     return;
   }

@@ -73,6 +73,14 @@ struct NodeConfig {
   /// extra traffic) and keeps long-lived processes at constant memory.
   std::size_t max_seen_events = 0;
 
+  /// Age bound on the seen set (sustained-service GC): entries older than
+  /// this many rounds are evicted in round(). Orthogonal to — and
+  /// composable with — the count bound above; 0 = no age GC. An evicted
+  /// id that arrives again is re-forwarded (extra traffic, never a
+  /// correctness loss); DamSystem counts such re-deliveries so the lane's
+  /// correctness guard can assert live events are never affected.
+  std::size_t seen_gc_horizon = 0;
+
   /// Event-recovery extension (lpbcast-style, cf. paper reference [6]):
   /// membership gossip carries a digest of recently seen event ids;
   /// receivers request retransmission of ids they are missing. Off by

@@ -373,7 +373,27 @@ bool DamSystem::probe_alive(ProcessId target) const {
 }
 
 void DamSystem::deliver(ProcessId self, const Message& event_msg) {
-  deliveries_[event_msg.event].insert(self);
+  // The publisher's synchronous self-delivery fires inside DamNode::publish,
+  // BEFORE DamSystem::publish registers the publication — it is never a
+  // retired event, whatever the maps say.
+  const bool self_publish =
+      event_msg.from == self && event_msg.event.publisher == self;
+  if (retired_events_ > 0 && !self_publish &&
+      !publications_.contains(event_msg.event)) {
+    // A copy of an already-retired publication reached a node whose seen
+    // set aged the id out: harmless duplicate traffic, excluded from the
+    // live counters so harvested aggregates stay frozen.
+    ++retired_deliveries_;
+    return;
+  }
+  if (!deliveries_[event_msg.event].insert(self).second) {
+    // A LIVE event delivered twice to the same process — only seen-set
+    // eviction inside the delivery window can cause this; the GC
+    // correctness guard asserts it never happens when the horizon covers
+    // the deadline window.
+    ++redeliveries_;
+    return;
+  }
   ++metrics_.group(registry_.topic_of(self)).delivered;
   metrics_.note_infection(clock_.now());
   metrics_.note_event_delivery(event_msg.event, clock_.now());
@@ -435,6 +455,12 @@ double DamSystem::delivery_ratio(net::EventId event) const {
 
 bool DamSystem::all_delivered(net::EventId event) const {
   return delivery_ratio(event) >= 1.0;
+}
+
+void DamSystem::retire_event(net::EventId event) {
+  deliveries_.erase(event);
+  publications_.erase(event);
+  ++retired_events_;
 }
 
 }  // namespace dam::core

@@ -194,6 +194,27 @@ class DamSystem final : public Env {
   /// True iff every alive interested process delivered `event`.
   [[nodiscard]] bool all_delivered(net::EventId event) const;
 
+  /// Sustained-service GC: forgets `event`'s delivered set and interested
+  /// snapshot once the workload driver has harvested its deadline outcome,
+  /// bounding per-run bookkeeping over long horizons. Deliveries of a
+  /// retired id arriving later count as retired_deliveries (harmless
+  /// duplicate traffic) and never touch the live counters.
+  void retire_event(net::EventId event);
+
+  /// Second deliveries of a LIVE (unretired) event to the same process —
+  /// exactly what a seen-set eviction inside the delivery window would
+  /// cause. The GC correctness guard: zero as long as the seen horizon
+  /// covers every event's deadline window.
+  [[nodiscard]] std::size_t redeliveries() const noexcept {
+    return redeliveries_;
+  }
+
+  /// Deliveries of already-retired events (late duplicates past the
+  /// deadline — safe by construction, counted for observability).
+  [[nodiscard]] std::size_t retired_deliveries() const noexcept {
+    return retired_deliveries_;
+  }
+
  private:
   struct Publication {
     TopicId topic;
@@ -218,6 +239,9 @@ class DamSystem final : public Env {
   sim::TraceRecorder* trace_ = nullptr;
   std::unordered_map<net::EventId, std::unordered_set<ProcessId>> deliveries_;
   std::unordered_map<net::EventId, Publication> publications_;
+  std::size_t retired_events_ = 0;      ///< retire_event calls so far
+  std::size_t redeliveries_ = 0;        ///< live re-deliveries (GC guard)
+  std::size_t retired_deliveries_ = 0;  ///< late deliveries past retirement
   static const std::unordered_set<ProcessId> kNoDeliveries;
 
   /// Memoized registry_.nearest_nonempty_supergroup, consulted by send()'s

@@ -11,20 +11,28 @@ namespace {
 const char* const kKnownKeys[] = {
     "a",     "b",      "c",     "g",          "psucc",      "tau",
     "z",     "alive",  "scale", "depth",      "fanin",      "runs",
-    "rate",  "zipf_s", "crash_frac", "leave_frac", "join_frac"};
+    "rate",  "zipf_s", "crash_frac", "leave_frac", "join_frac",
+    "publishers", "horizon", "gc_horizon"};
 
-/// Shared guard of the dynamic-lane churn axes: the frozen engine has no
-/// traffic stream, so sweeping a churn knob there would run N bit-identical
-/// cells mislabeled as different churn levels.
-void require_dynamic_churn_axis(const sim::Scenario& scenario,
-                                std::string_view key, double value) {
-  if (scenario.engine != sim::EngineKind::kDynamic) {
+/// Shared guard of the stream-lane axes (traffic, churn, steady): the
+/// frozen engine has no traffic stream, so sweeping one of these knobs
+/// there would run N bit-identical cells mislabeled as different levels.
+/// The dynamic engine and both steady baselines all replay the generated
+/// stream, so all of them accept these axes.
+void require_stream_axis(const sim::Scenario& scenario,
+                         std::string_view key) {
+  if (!sim::is_stream_engine(scenario.engine)) {
     throw std::invalid_argument(
         "grid: " + std::string(key) +
-        " is a dynamic-lane axis (the frozen engine has no subscription "
-        "churn stream; its outage schedule is the churn-preset alive "
-        "sweep); pick a kDynamic scenario");
+        " is a stream-lane axis (the frozen engine has no traffic "
+        "stream); pick a kDynamic or baseline scenario");
   }
+}
+
+/// The churn axes additionally need a probability-shaped value.
+void require_stream_churn_axis(const sim::Scenario& scenario,
+                               std::string_view key, double value) {
+  require_stream_axis(scenario, key);
   if (value < 0.0 || value > 1.0) {
     throw std::invalid_argument("grid: " + std::string(key) +
                                 " must be in [0, 1]");
@@ -255,11 +263,7 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
       // generator clamps Poisson draws at rate 64 — beyond that is a
       // misconfiguration, not a workload — so the axis shares that
       // domain.
-      if (scenario.engine != sim::EngineKind::kDynamic) {
-        throw std::invalid_argument(
-            "grid: rate is a dynamic-lane axis (the frozen engine has no "
-            "traffic stream); pick a kDynamic scenario");
-      }
+      require_stream_axis(scenario, key);
       if (value < 0.0 || value > 64.0) {
         throw std::invalid_argument("grid: rate must be in [0, 64]");
       }
@@ -274,11 +278,7 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
       // nothing would mislabel its results (s = 0 IS uniform, so the
       // degenerate point stays reachable). Frozen scenarios are rejected
       // for the same reason as `rate`.
-      if (scenario.engine != sim::EngineKind::kDynamic) {
-        throw std::invalid_argument(
-            "grid: zipf_s is a dynamic-lane axis (the frozen engine has "
-            "no traffic stream); pick a kDynamic scenario");
-      }
+      require_stream_axis(scenario, key);
       if (value < 0.0 || value > 16.0) {
         throw std::invalid_argument("grid: zipf_s must be in [0, 16]");
       }
@@ -287,22 +287,53 @@ void apply_grid_point(sim::Scenario& scenario, const GridPoint& point) {
     } else if (key == "crash_frac") {
       // Dynamic-lane churn axis: P(an initial process suffers one
       // crash/recover outage during the stream).
-      require_dynamic_churn_axis(scenario, key, value);
+      require_stream_churn_axis(scenario, key, value);
       scenario.workload.churn.crash_fraction = value;
     } else if (key == "leave_frac") {
       // Dynamic-lane churn axis: P(an initial process leaves for good).
-      require_dynamic_churn_axis(scenario, key, value);
+      require_stream_churn_axis(scenario, key, value);
       scenario.workload.churn.leave_fraction = value;
     } else if (key == "join_frac") {
       // Dynamic-lane churn axis: fresh joins over the horizon as a
       // fraction of the INITIAL population — a ratio, so one grid spec
       // sweeps sensibly across `scale` values (churn.joins itself is an
       // absolute count).
-      require_dynamic_churn_axis(scenario, key, value);
+      require_stream_churn_axis(scenario, key, value);
       std::size_t initial = 0;
       for (const std::size_t size : scenario.group_sizes) initial += size;
       scenario.workload.churn.joins = static_cast<std::size_t>(
           std::llround(value * static_cast<double>(initial)));
+    } else if (key == "publishers") {
+      // Steady-lane axis: concurrent publisher count of the sustained-
+      // service generator. Setting it > 0 switches the scenario onto the
+      // steady arrival lane (workload.steady replaces the single-arrival
+      // stream); 0 switches back to the scenario's arrival model.
+      require_stream_axis(scenario, key);
+      if (value < 0.0 || value > 1e6) {
+        throw std::invalid_argument("grid: publishers must be in [0, 1e6]");
+      }
+      scenario.workload.steady.publishers =
+          static_cast<std::size_t>(std::llround(value));
+    } else if (key == "horizon") {
+      // Steady-lane axis: rounds of traffic generation (the long-horizon
+      // knob; the arrival horizon is shared by every arrival model).
+      require_stream_axis(scenario, key);
+      if (value < 1.0 || value > 1e7) {
+        throw std::invalid_argument("grid: horizon must be in [1, 1e7]");
+      }
+      scenario.workload.arrival.horizon =
+          static_cast<std::size_t>(std::llround(value));
+    } else if (key == "gc_horizon") {
+      // Steady-lane axis: seen-set / delivered-set age GC in rounds
+      // (0 = GC off, the historical unbounded-bookkeeping behavior).
+      // Sweeping "gc_horizon=0,64" makes the GC-on/off divergence of
+      // peak_bookkeeping_bytes visible inside one report.
+      require_stream_axis(scenario, key);
+      if (value < 0.0 || value > 1e9) {
+        throw std::invalid_argument("grid: gc_horizon must be in [0, 1e9]");
+      }
+      scenario.workload.engine.gc_horizon =
+          static_cast<std::size_t>(std::llround(value));
     } else if (key == "runs") {
       // Bounded on both sides: a huge value would wrap the int cast and
       // silently run ~1.4e9 sweeps instead of erroring.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "baselines/steady.hpp"
 #include "core/frozen_sim.hpp"
 #include "util/parallel.hpp"
 #include "workload/driver.hpp"
@@ -34,8 +35,11 @@ SweepResult run_sweep(const sim::Scenario& scenario,
     throw std::invalid_argument("run_sweep: shards must be positive");
   }
   // Dynamic scenarios share one read-only topology binding across workers;
-  // building it also front-loads the tree-shape validation.
+  // building it also front-loads the tree-shape validation. The steady
+  // baseline engines replay the same stream shape but need no binding
+  // (they compute tree routing straight off the scenario edges).
   const bool dynamic = scenario.engine == sim::EngineKind::kDynamic;
+  const bool stream = sim::is_stream_engine(scenario.engine);
   const workload::DynamicScenarioBinding binding =
       dynamic ? workload::bind_scenario(scenario)
               : workload::DynamicScenarioBinding{};
@@ -67,14 +71,16 @@ SweepResult run_sweep(const sim::Scenario& scenario,
       const std::size_t lo = runs * s / shard_count;
       const std::size_t hi = runs * (s + 1) / shard_count;
       Shard& shard = shards[pt * shard_count + s];
-      tasks.push_back([&scenario, &dag, &binding, &shard, dynamic, alive, lo,
-                       hi] {
+      tasks.push_back([&scenario, &dag, &binding, &shard, dynamic, stream,
+                       alive, lo, hi] {
         shard.partial = make_point(scenario, alive);
         for (std::size_t run = lo; run < hi; ++run) {
-          if (dynamic) {
+          if (stream) {
             const workload::DynamicRunResult result =
-                workload::run_dynamic_simulation(scenario, binding, alive,
-                                                 static_cast<int>(run));
+                dynamic ? workload::run_dynamic_simulation(
+                              scenario, binding, alive, static_cast<int>(run))
+                        : baselines::run_steady_baseline(
+                              scenario, alive, static_cast<int>(run));
             accumulate_run(shard.partial, result);
             // Control messages are real network traffic of the dynamic
             // engine; the events/sec throughput counts them alongside

@@ -54,6 +54,12 @@ class Metrics {
   void begin_event(net::EventId event, Round now);
   void note_event_delivery(net::EventId event, Round now);
 
+  /// Sustained-service GC: drops one event's latency aggregate once the
+  /// workload driver has harvested it at the publication's deadline, so
+  /// long-horizon runs hold only in-flight publications. The streaming
+  /// sketch and the per-round series keep their folded samples.
+  void retire_event(net::EventId event) { event_latencies_.erase(event); }
+
   [[nodiscard]] const std::unordered_map<net::EventId, EventLatency>&
   event_latencies() const noexcept {
     return event_latencies_;

@@ -39,7 +39,20 @@ enum class EngineKind {
   kDynamic,  ///< core/system via workload/driver: a generated traffic
              ///< stream (arrivals, popularity skew, subscription churn)
              ///< against the full message-passing engine
+  kBaselineTree,    ///< baselines/steady: Scribe-style per-group dissemination
+                    ///< trees over the SAME generated stream — deterministic
+                    ///< routing, no gossip redundancy (head-to-head rival)
+  kBaselineGossip,  ///< baselines/steady: interest-agnostic flat gossip over
+                    ///< the whole population on the same stream (the
+                    ///< "one big group" strawman the paper argues against)
 };
+
+/// True for engines that replay a generated workload stream (the dynamic
+/// protocol engine and both steady baselines) — the lanes that accept the
+/// traffic/churn/steady grid axes and produce DynamicRunResult aggregates.
+[[nodiscard]] constexpr bool is_stream_engine(EngineKind engine) noexcept {
+  return engine != EngineKind::kFrozen;
+}
 
 struct Scenario {
   std::string name;     ///< registry key (e.g. "fig9")

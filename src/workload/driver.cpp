@@ -159,6 +159,7 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   config.node.recovery.enabled = workload.engine.recovery_enabled;
   config.node.recovery.history_size = workload.engine.recovery_history;
   config.node.recovery.digest_size = workload.engine.recovery_digest;
+  config.node.seen_gc_horizon = workload.engine.gc_horizon;
   config.threads = scenario.threads;  // sharded spawn-batch fill when set
   core::DamSystem system(binding.hierarchy, config);
 
@@ -264,12 +265,79 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
     std::uint32_t topic;       ///< scenario topic index it was published on
     std::size_t deadline;      ///< rounds_executed value to snapshot at
     double ratio = -1.0;       ///< delivery_ratio at the deadline (<0: unset)
+    bool harvested = false;    ///< GC lane: outcome folded in, state retired
   };
   std::vector<PublicationRecord> published;
+
+  // Sustained-service GC (gc_horizon > 0): each publication's group
+  // outcomes and latency aggregate are harvested AT ITS DEADLINE into these
+  // accumulators, then the engine retires its delivered-set / latency
+  // bookkeeping, so per-run state holds only in-flight publications no
+  // matter how long the horizon. With GC off no record is ever harvested
+  // and the run-end grading below is the sole contributor — its loop order
+  // (and therefore every floating-point sum) is exactly the historical one.
+  const std::size_t gc_horizon = workload.engine.gc_horizon;
+  std::vector<double> ratio_sums(topic_count, 0.0);
+  std::vector<std::size_t> group_ratio_samples(topic_count, 0);
+  std::vector<char> group_all_delivered(topic_count, 1);
+  std::uint64_t deliveries = 0;
+  std::uint64_t latency_sum = 0;
+  // Grades one publication against the CURRENT round's liveness (the
+  // deadline round when called from the harvest path, the run's end round
+  // when called from run-end grading). Per-group float sums accumulate in
+  // publication order either way, so both paths fold identically.
+  auto grade = [&](const PublicationRecord& record) {
+    const sim::Round grading_round = system.now();
+    const auto& delivered = system.delivered_set(record.event);
+    for (std::size_t topic = 0; topic < topic_count; ++topic) {
+      const topics::TopicId id = binding.topic_ids[topic];
+      const auto& members = system.registry().group(id);
+      const bool interested = binding.hierarchy.includes(
+          id, binding.topic_ids[record.topic]);
+      if (!interested) {
+        for (const topics::ProcessId member : members) {
+          if (delivered.contains(member)) {
+            group_all_delivered[topic] = 0;  // parasite outcome
+            break;
+          }
+        }
+        continue;
+      }
+      std::size_t alive_members = 0;
+      std::size_t alive_delivered = 0;
+      for (const topics::ProcessId member : members) {
+        if (!alive_model.alive(member, grading_round)) continue;
+        ++alive_members;
+        alive_delivered += delivered.contains(member);
+      }
+      result.expected_deliveries += alive_members;
+      if (alive_members == 0) continue;
+      ratio_sums[topic] += static_cast<double>(alive_delivered) /
+                           static_cast<double>(alive_members);
+      ++group_ratio_samples[topic];
+      if (alive_delivered < alive_members) group_all_delivered[topic] = 0;
+    }
+    const auto& latencies = system.metrics().event_latencies();
+    const auto it = latencies.find(record.event);
+    if (it != latencies.end()) {
+      deliveries += it->second.deliveries;
+      latency_sum += it->second.latency_sum;
+      result.max_latency = std::max(
+          result.max_latency, static_cast<double>(it->second.max_latency));
+    }
+  };
   auto snapshot_due = [&] {
     for (PublicationRecord& record : published) {
       if (record.ratio < 0.0 && record.deadline <= rounds_executed) {
         record.ratio = system.delivery_ratio(record.event);
+        if (gc_horizon > 0) {
+          // Harvest first (grade reads the delivered set and the latency
+          // map), then retire both.
+          grade(record);
+          record.harvested = true;
+          system.metrics().retire_event(record.event);
+          system.retire_event(record.event);
+        }
       }
     }
   };
@@ -372,14 +440,14 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
   result.publications = published.size();
 
   double reliability_sum = 0.0;
-  std::uint64_t deliveries = 0;
-  std::uint64_t latency_sum = 0;
   for (const PublicationRecord& record : published) {
     // Deadline snapshot; publications whose deadline fell past the run's
-    // last round (drain cut short) are graded at run end.
+    // last round (drain cut short) are graded at run end. Harvested
+    // records folded their latency at the deadline already.
     reliability_sum += record.ratio >= 0.0
                            ? record.ratio
                            : system.delivery_ratio(record.event);
+    if (record.harvested) continue;
     const auto& latencies = system.metrics().event_latencies();
     const auto it = latencies.find(record.event);
     if (it != latencies.end()) {
@@ -427,15 +495,16 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
 
     // Per-publication group outcome: members of this group are interested
     // in a publication iff their topic includes the published topic.
-    double ratio_sum = 0.0;
+    // Harvested records already folded theirs at their deadlines.
     for (const PublicationRecord& record : published) {
+      if (record.harvested) continue;
       const bool interested = binding.hierarchy.includes(
           id, binding.topic_ids[record.topic]);
       const auto& delivered = system.delivered_set(record.event);
       if (!interested) {
         for (const topics::ProcessId member : members) {
           if (delivered.contains(member)) {
-            group_result.all_alive_delivered = false;  // parasite outcome
+            group_all_delivered[topic] = 0;  // parasite outcome
             break;
           }
         }
@@ -450,16 +519,16 @@ DynamicRunResult run_dynamic_simulation(const sim::Scenario& scenario,
       }
       result.expected_deliveries += alive_members;
       if (alive_members == 0) continue;
-      ratio_sum += static_cast<double>(alive_delivered) /
-                   static_cast<double>(alive_members);
-      ++group_result.ratio_samples;
-      if (alive_delivered < alive_members) {
-        group_result.all_alive_delivered = false;
-      }
+      ratio_sums[topic] += static_cast<double>(alive_delivered) /
+                           static_cast<double>(alive_members);
+      ++group_ratio_samples[topic];
+      if (alive_delivered < alive_members) group_all_delivered[topic] = 0;
     }
+    group_result.ratio_samples = group_ratio_samples[topic];
+    group_result.all_alive_delivered = group_all_delivered[topic] != 0;
     if (group_result.ratio_samples > 0) {
       group_result.delivery_ratio =
-          ratio_sum / static_cast<double>(group_result.ratio_samples);
+          ratio_sums[topic] / static_cast<double>(group_result.ratio_samples);
     }
   }
 

@@ -1,0 +1,87 @@
+#include "workload/steady.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dam::workload {
+
+namespace {
+
+/// (publisher, round) -> kSteadyArrival index. Publishers and horizons are
+/// both far below 2^32 in any realistic workload; the split keeps every
+/// (p, r) cell distinct.
+std::uint64_t arrival_index(std::size_t publisher, std::size_t round) {
+  return (static_cast<std::uint64_t>(publisher) << 32) |
+         static_cast<std::uint64_t>(round & 0xFFFFFFFFULL);
+}
+
+}  // namespace
+
+EventStream steady_publications(const WorkloadConfig& config,
+                                const TrafficShape& shape,
+                                std::uint64_t base_seed) {
+  const SteadyConfig& steady = config.steady;
+  if (steady.rate < 0.0) {
+    throw std::invalid_argument("steady_publications: negative rate");
+  }
+  const std::size_t horizon = std::max<std::size_t>(config.arrival.horizon, 1);
+  std::vector<double> cdf;
+  if (config.popularity.kind == PopularityKind::kZipf) {
+    cdf = zipf_cdf(shape.topic_count, config.popularity.zipf_s);
+  }
+  EventStream stream;
+  for (std::size_t p = 0; p < steady.publishers; ++p) {
+    // One cell decides the publisher's whole identity: home topic first,
+    // then member rank, in a fixed draw order so adding popularity knobs
+    // never perturbs the rank stream.
+    util::Rng identity = stream_rng(base_seed, StreamId::kSteadyTopic, p);
+    std::uint32_t topic = shape.publish_topic;
+    switch (config.popularity.kind) {
+      case PopularityKind::kSingle:
+        break;
+      case PopularityKind::kUniform:
+        topic = static_cast<std::uint32_t>(identity.below(shape.topic_count));
+        break;
+      case PopularityKind::kZipf: {
+        const double u = identity.uniform01();
+        topic = static_cast<std::uint32_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        break;
+      }
+    }
+    const std::uint64_t actor = identity();
+
+    // Per-round base load, plus the synchronized flashcrowd overlay: every
+    // burst_every rounds each publisher squeezes burst_size extra
+    // publications into burst_width rounds (round-robin, like the
+    // kFlashcrowd arrival model).
+    std::vector<std::size_t> per_round(horizon, 0);
+    for (std::size_t round = 0; round < horizon; ++round) {
+      util::Rng rng =
+          stream_rng(base_seed, StreamId::kSteadyArrival, arrival_index(p, round));
+      per_round[round] = poisson_draw(steady.rate, rng);
+    }
+    if (steady.burst_every > 0) {
+      const std::size_t width = std::max<std::size_t>(steady.burst_width, 1);
+      for (std::size_t start = steady.burst_every; start < horizon;
+           start += steady.burst_every) {
+        for (std::size_t i = 0; i < steady.burst_size; ++i) {
+          per_round[std::min(start + i % width, horizon - 1)] += 1;
+        }
+      }
+    }
+    for (std::size_t round = 0; round < horizon; ++round) {
+      for (std::size_t i = 0; i < per_round[round]; ++i) {
+        TrafficEvent event;
+        event.kind = TrafficEvent::Kind::kPublish;
+        event.round = round;
+        event.topic = topic;
+        event.actor = actor;
+        stream.push_back(event);
+      }
+    }
+  }
+  return stream;
+}
+
+}  // namespace dam::workload

@@ -1,0 +1,36 @@
+// Sustained-service workload — long-horizon multi-publisher streams.
+//
+// workload/traffic's single arrival stream models one burst of traffic; a
+// steady-state service is P *concurrent* publishers, each emitting at its
+// own rate on its own home topic for R >> 10^3 rounds. This module
+// materializes that lane: per-publisher Poisson arrivals with optional
+// synchronized flashcrowd spikes, each publisher pinned to one topic and
+// one member rank for the stream's whole life (the realistic shape — a
+// news source publishes on its own channel, not a random one per message).
+//
+// Determinism follows the traffic-module contract exactly: every draw is a
+// pure function of (base_seed, stream, index). Publisher p's round-r count
+// lives at (kSteadyArrival, p << 32 | r); its home topic and member rank at
+// (kSteadyTopic, p). Generation is publisher-major, so the round-major
+// stable sort in generate_stream leaves same-round publications in
+// publisher order — independent of horizon, churn, or thread count.
+//
+// generate_stream (workload/traffic) dispatches here whenever
+// WorkloadConfig::steady.publishers > 0; callers never include this header
+// unless they want the raw publication list.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/traffic.hpp"
+
+namespace dam::workload {
+
+/// The publish events of the steady lane, in publisher-major generation
+/// order (caller sorts round-major). Pure in (config, shape, seed). Throws
+/// std::invalid_argument on out-of-domain knobs (negative rate).
+[[nodiscard]] EventStream steady_publications(const WorkloadConfig& config,
+                                              const TrafficShape& shape,
+                                              std::uint64_t base_seed);
+
+}  // namespace dam::workload

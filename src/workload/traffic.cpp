@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "workload/steady.hpp"
+
 namespace dam::workload {
 
 util::Rng stream_rng(std::uint64_t base_seed, StreamId stream,
@@ -138,36 +140,43 @@ EventStream generate_stream(const WorkloadConfig& config,
   validate(config, shape);
   EventStream stream;
 
-  // --- Publications: arrival round × popularity topic × publisher rank. ----
-  const std::vector<std::size_t> rounds =
-      arrival_rounds(config.arrival, base_seed);
-  std::vector<double> cdf;
-  if (config.popularity.kind == PopularityKind::kZipf) {
-    cdf = zipf_cdf(shape.topic_count, config.popularity.zipf_s);
-  }
-  for (std::size_t pub = 0; pub < rounds.size(); ++pub) {
-    TrafficEvent event;
-    event.kind = TrafficEvent::Kind::kPublish;
-    event.round = rounds[pub];
-    switch (config.popularity.kind) {
-      case PopularityKind::kSingle:
-        event.topic = shape.publish_topic;
-        break;
-      case PopularityKind::kUniform: {
-        util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
-        event.topic = static_cast<std::uint32_t>(rng.below(shape.topic_count));
-        break;
-      }
-      case PopularityKind::kZipf: {
-        util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
-        const double u = rng.uniform01();
-        event.topic = static_cast<std::uint32_t>(
-            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
-        break;
-      }
+  if (config.steady.publishers > 0) {
+    // Sustained-service lane: the per-publisher generator replaces the
+    // single arrival stream; churn and joins below compose unchanged.
+    stream = steady_publications(config, shape, base_seed);
+  } else {
+    // --- Publications: arrival round × popularity topic × publisher rank. --
+    const std::vector<std::size_t> rounds =
+        arrival_rounds(config.arrival, base_seed);
+    std::vector<double> cdf;
+    if (config.popularity.kind == PopularityKind::kZipf) {
+      cdf = zipf_cdf(shape.topic_count, config.popularity.zipf_s);
     }
-    event.actor = stream_rng(base_seed, StreamId::kPublisher, pub)();
-    stream.push_back(event);
+    for (std::size_t pub = 0; pub < rounds.size(); ++pub) {
+      TrafficEvent event;
+      event.kind = TrafficEvent::Kind::kPublish;
+      event.round = rounds[pub];
+      switch (config.popularity.kind) {
+        case PopularityKind::kSingle:
+          event.topic = shape.publish_topic;
+          break;
+        case PopularityKind::kUniform: {
+          util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
+          event.topic =
+              static_cast<std::uint32_t>(rng.below(shape.topic_count));
+          break;
+        }
+        case PopularityKind::kZipf: {
+          util::Rng rng = stream_rng(base_seed, StreamId::kPopularity, pub);
+          const double u = rng.uniform01();
+          event.topic = static_cast<std::uint32_t>(
+              std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+          break;
+        }
+      }
+      event.actor = stream_rng(base_seed, StreamId::kPublisher, pub)();
+      stream.push_back(event);
+    }
   }
 
   // --- Churn: one stream cell per initial process. -------------------------

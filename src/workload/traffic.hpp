@@ -49,6 +49,10 @@ enum class StreamId : std::uint64_t {
   kJoin = 5,        ///< per-join placement (index = join)
   kStillborn = 6,   ///< per-process initial-failure coin (index = process)
   kSystem = 7,      ///< the DamSystem engine seed (index = 0)
+  kSteadyArrival = 8,  ///< steady lane: per-(publisher, round) arrival count
+                       ///< (index = publisher << 32 | round)
+  kSteadyTopic = 9,    ///< steady lane: per-publisher home topic + member
+                       ///< rank (index = publisher)
 };
 
 /// Derives the Rng for one (base_seed, stream, index) cell. Pure: no global
@@ -108,6 +112,39 @@ struct EngineConfig {
   bool recovery_enabled = false;   ///< lpbcast-style event recovery
   std::size_t recovery_history = 32;
   std::size_t recovery_digest = 8;
+
+  // Sustained-service GC: when > 0, per-node seen sets evict entries older
+  // than `gc_horizon` rounds and the driver retires each publication's
+  // delivered-set / latency bookkeeping once its deadline has been
+  // harvested, bounding per-node and per-run state over long horizons
+  // (the lpbcast bounded-buffer discipline). 0 keeps today's unbounded
+  // bookkeeping — and the engine streams bit-identical to before.
+  std::size_t gc_horizon = 0;
+};
+
+/// Sustained-service traffic: P concurrent publishers, each pinned to one
+/// home topic (drawn once from the popularity model) and one member rank,
+/// emitting per-round Poisson(rate) publications over the arrival horizon —
+/// plus optional synchronized flashcrowd bursts where EVERY publisher
+/// spikes together. `publishers == 0` disables the lane (the default), in
+/// which case the single-stream ArrivalConfig path runs unchanged. With
+/// publishers > 0 the steady generator REPLACES the arrival stream; churn
+/// and join streams compose on top exactly as before.
+///
+/// Determinism: publisher p's round-r arrival count is one draw from
+/// (seed, kSteadyArrival, p << 32 | r); its home topic and member rank come
+/// from (seed, kSteadyTopic, p). Extending the horizon or adding publishers
+/// never reshuffles existing cells.
+struct SteadyConfig {
+  std::size_t publishers = 0;  ///< concurrent publishers (0 = lane off)
+  double rate = 0.05;          ///< expected publications/round/publisher
+
+  // Synchronized flashcrowds: every `burst_every` rounds (0 = never), each
+  // publisher adds `burst_size` publications spread over `burst_width`
+  // rounds starting at the burst round.
+  std::size_t burst_every = 0;
+  std::size_t burst_size = 4;
+  std::size_t burst_width = 2;
 };
 
 struct WorkloadConfig {
@@ -115,6 +152,7 @@ struct WorkloadConfig {
   PopularityConfig popularity;
   ChurnTraceConfig churn;
   EngineConfig engine;
+  SteadyConfig steady;
 };
 
 // --- The event stream -------------------------------------------------------

@@ -1,7 +1,10 @@
 // Property tests for the invariants listed in DESIGN.md §7, swept over
-// seeds and hierarchy shapes with parameterized gtest.
+// seeds and hierarchy shapes with parameterized gtest — plus the
+// sustained-service GC invariants (seen-set age bound, redelivery guard,
+// event retirement).
 #include <gtest/gtest.h>
 
+#include "core/protocol.hpp"
 #include "core/system.hpp"
 #include "topics/hierarchy.hpp"
 
@@ -167,6 +170,118 @@ TEST_P(DegenerateCaseTest, SingleTopicHasNoHierarchyOverhead) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DegenerateCaseTest,
                          ::testing::Values(2u, 13u, 77u));
+
+// --- Sustained-service GC invariants (seen-set age bound + guards). ------
+
+TEST(SeenSetGc, AgeEvictionBoundsFootprintOverLongRuns) {
+  // The pure data-structure property the sustained lane rests on: with an
+  // age horizon, footprint is a function of the WINDOW's traffic, not of
+  // run length; without one it grows with the whole history.
+  constexpr std::size_t kHorizon = 64;
+  constexpr std::size_t kPerRound = 8;
+  protocol::SeenSet<std::uint64_t> bounded;
+  bounded.set_age_horizon(kHorizon);
+  protocol::SeenSet<std::uint64_t> unbounded;
+  for (std::uint64_t round = 0; round < 4096; ++round) {
+    for (std::size_t i = 0; i < kPerRound; ++i) {
+      const std::uint64_t key = round * kPerRound + i;
+      EXPECT_TRUE(bounded.remember(key, round));
+      EXPECT_TRUE(unbounded.remember(key, round));
+    }
+    bounded.evict_older_than(round);
+    // Entries from at most the last kHorizon rounds survive.
+    ASSERT_LE(bounded.size(), kHorizon * kPerRound);
+  }
+  EXPECT_EQ(unbounded.size(), 4096u * kPerRound);
+  EXPECT_LT(bounded.bytes(), unbounded.bytes());
+  // An evicted key is genuinely forgotten: re-remembering it reports a
+  // first reception again (the safe re-forward case), while the unbounded
+  // set still suppresses it.
+  EXPECT_FALSE(bounded.contains(0));
+  EXPECT_TRUE(bounded.remember(0, 4096));
+  EXPECT_FALSE(unbounded.remember(0, 4096));
+}
+
+// GC correctness guard, end to end: a seen horizon that covers every
+// event's delivery window never causes a live redelivery, never costs
+// reliability, and still keeps per-node seen sets at window size — while
+// the GC-off twin of the same run retains the full history.
+class SeenGcGuardTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeenGcGuardTest, CoveringHorizonNeverRedeliversAndBoundsSeenSets) {
+  constexpr std::size_t kHorizon = 24;       // >> the ~10-round spread
+  constexpr int kEvents = 12;
+  constexpr sim::Round kGapRounds = 8;       // publish cadence
+  const auto run_once = [&](std::size_t gc_horizon) {
+    auto hierarchy = std::make_unique<topics::TopicHierarchy>();
+    const auto leaf = hierarchy->add(".a.b");
+    const auto mid = *hierarchy->find(".a");
+    DamSystem::Config config;
+    config.seed = GetParam();
+    config.auto_wire_super_tables = true;
+    config.node.params.psucc = 1.0;
+    config.node.seen_gc_horizon = gc_horizon;
+    auto system = std::make_unique<DamSystem>(*hierarchy, config);
+    system->spawn_group(topics::kRootTopic, 6);
+    system->spawn_group(mid, 12);
+    const auto leaves = system->spawn_group(leaf, 24);
+    system->run_rounds(3);
+    std::vector<net::EventId> events;
+    for (int i = 0; i < kEvents; ++i) {
+      events.push_back(system->publish(leaves[i % leaves.size()]));
+      system->run_rounds(kGapRounds);
+    }
+    system->run_rounds(30);
+    // The guard: zero live redeliveries, full reliability, no parasites.
+    EXPECT_EQ(system->redeliveries(), 0u);
+    EXPECT_EQ(system->metrics().parasite_deliveries(), 0u);
+    for (const auto& event : events) {
+      EXPECT_GT(system->delivery_ratio(event), 0.95);
+    }
+    return std::make_pair(std::move(hierarchy), std::move(system));
+  };
+
+  const auto [h_on, gc_on] = run_once(kHorizon);
+  const auto [h_off, gc_off] = run_once(0);
+  // GC-on: every seen set holds at most the window's events (cadence
+  // kGapRounds -> ceil(kHorizon / kGapRounds) live publications, +1 for
+  // the eviction boundary). GC-off: the full history.
+  const std::size_t window_events = kHorizon / kGapRounds + 1;
+  for (std::uint32_t p = 0; p < gc_on->process_count(); ++p) {
+    EXPECT_LE(gc_on->node(ProcessId{p}).seen_events().size(), window_events);
+  }
+  EXPECT_LT(gc_on->bookkeeping_gauges().seen_bytes,
+            gc_off->bookkeeping_gauges().seen_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeenGcGuardTest,
+                         ::testing::Values(3u, 29u, 64u));
+
+TEST(SeenSetGc, RetiredEventsNeverTouchLiveCounters) {
+  // Retire an event while copies are still in flight: the stragglers must
+  // land as retired_deliveries (harmless duplicate traffic), never as live
+  // deliveries or redeliveries — harvested aggregates stay frozen.
+  topics::TopicHierarchy hierarchy;
+  DamSystem::Config config;
+  config.seed = 11;
+  config.auto_wire_super_tables = true;
+  config.node.params.psucc = 1.0;
+  DamSystem system(hierarchy, config);
+  const auto members = system.spawn_group(topics::kRootTopic, 40);
+  system.run_rounds(3);
+  const auto event = system.publish(members[0]);
+  system.run_rounds(1);  // the wave is mid-flight
+  const std::size_t live_before = system.delivered_set(event).size();
+  EXPECT_GT(live_before, 0u);  // at least the publisher's self-delivery
+  system.retire_event(event);
+  EXPECT_TRUE(system.delivered_set(event).empty());
+  system.run_rounds(25);
+  // The stragglers arrived but the retired event's books never reopened.
+  EXPECT_TRUE(system.delivered_set(event).empty());
+  EXPECT_GT(system.retired_deliveries(), 0u);
+  EXPECT_EQ(system.redeliveries(), 0u);
+  EXPECT_EQ(system.metrics().parasite_deliveries(), 0u);
+}
 
 }  // namespace
 }  // namespace dam::core

@@ -57,8 +57,10 @@ int main(int argc, char** argv) {
   util::ArgParser args(
       "damlab — parallel experiment lab over the scenario registry");
   args.add_option("scenario", "",
-                  "comma-separated preset names, or 'all' (see "
-                  "--list-scenarios)");
+                  "comma-separated preset names, 'all', or the alias "
+                  "'steady-baselines' (= steady-state,steady-tree,"
+                  "steady-gossip: protocol vs both rivals on one stream; "
+                  "see --list-scenarios)");
   args.add_option("jobs", "0",
                   "cross-run worker threads: fans (point, run) cells "
                   "across the pool (0 = hardware concurrency)");
@@ -70,7 +72,8 @@ int main(int argc, char** argv) {
   args.add_option("grid", "",
                   "parameter grid, e.g. \"a=1:4 g=5,10 psucc=0.5:0.9:0.2\" "
                   "(keys: a b c g psucc tau z alive scale depth fanin runs "
-                  "rate zipf_s crash_frac leave_frac join_frac)");
+                  "rate zipf_s crash_frac leave_frac join_frac publishers "
+                  "horizon gc_horizon)");
   args.add_option("runs", "0", "override runs per sweep point (0 = preset)");
   args.add_option("shards", "32",
                   "shards per sweep point (fixed reduction shape; advanced)");
@@ -118,6 +121,16 @@ int main(int argc, char** argv) {
       selected = sim::scenario_registry();
     } else {
       for (const std::string& name : split_names(scenario_arg)) {
+        // The head-to-head alias: the protocol and both steady baseline
+        // engines over the IDENTICAL stream (shared base_seed), so one
+        // invocation lands all three on one damlab-bench-v1 report.
+        if (name == "steady-baselines") {
+          for (const char* member :
+               {"steady-state", "steady-tree", "steady-gossip"}) {
+            selected.push_back(*sim::find_scenario(member));
+          }
+          continue;
+        }
         const sim::Scenario* preset = sim::find_scenario(name);
         if (preset == nullptr) {
           std::cerr << "damlab: unknown scenario '" << name
